@@ -1,0 +1,212 @@
+(** Benchmark harness: regenerates every table and figure of the
+    paper's evaluation on the simulated GPUs, plus bechamel
+    micro-benchmarks of the compiler itself.
+
+    Usage: [main.exe [table1|fig13|fig14|fig15|table2|fig16|fig17|
+    hipify|vii-b|micro|ablation|all ...]]; no arguments = all. *)
+
+module E = Pgpu_core.Experiments
+module P = Pgpu_core.Polygeist_gpu
+module Descriptor = Pgpu_target.Descriptor
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+
+(** In quick mode the composite experiments use a subset of benchmarks
+    (handy while iterating). *)
+let benches () =
+  if quick then
+    List.filter
+      (fun (b : P.Bench_def.t) ->
+        List.mem b.P.Bench_def.name [ "lud"; "gaussian"; "nw"; "hotspot"; "nn" ])
+      P.Rodinia.all
+  else P.Rodinia.all
+
+let heading name = Fmt.pr "@.################ %s ################@.@." name
+
+let fig13 () =
+  heading "Experiment 1 (Fig. 13, Section VII-B)";
+  ignore (E.fig13 ~benches:(benches ()) ())
+
+let fig14 () =
+  heading "Fig. 14";
+  ignore (E.fig14 ())
+
+let fig15 () =
+  heading "Fig. 15";
+  ignore (E.fig15 ())
+
+let table2 () =
+  heading "Table II";
+  ignore (E.table2 ())
+
+let fig16 () =
+  heading "Experiments 2 and 3 (Fig. 16)";
+  ignore (E.fig16 ~benches:(benches ()) ())
+
+let fig17 () =
+  heading "Fig. 17";
+  ignore (E.fig17 ~benches:(benches ()) ())
+
+let hipify () =
+  heading "Section VII-D1 (ease of use)";
+  E.hipify_ease ~benches:(benches ()) ()
+
+let table1 () =
+  heading "Table I";
+  E.table1 ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices called out in DESIGN.md                   *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  heading "Ablations";
+  let lud = P.Rodinia.find "lud" in
+  let time ?(specs = []) ?(tune = specs <> []) () =
+    (P.run_rodinia ~specs ~tune ~target:Descriptor.a100 lud).P.composite_seconds
+  in
+  let base = time () in
+  Fmt.pr "lud composite baseline: %.5f s@." base;
+  (* cyclic vs blocked thread-coarsening index mapping *)
+  let spec_map m =
+    Pgpu_transforms.Coarsen.spec ~thread:(Pgpu_transforms.Coarsen.Total 4) ~thread_mapping:m ()
+  in
+  let cyc = time ~specs:[ spec_map Pgpu_transforms.Interleave.Cyclic ] ~tune:false () in
+  let blk = time ~specs:[ spec_map Pgpu_transforms.Interleave.Blocked ] ~tune:false () in
+  Fmt.pr "thread x4, cyclic mapping (coalescing-friendly): %.5f s@." cyc;
+  Fmt.pr "thread x4, blocked mapping (naive):              %.5f s@." blk;
+  (* epilogue kernels: prime block factors are only possible with them *)
+  let prime =
+    time
+      ~specs:[ Pgpu_transforms.Coarsen.spec ~block:(Pgpu_transforms.Coarsen.Total 7) () ]
+      ~tune:false ()
+  in
+  Fmt.pr "block x7 (non-divisor; epilogue kernels): %.5f s@." prime;
+  (* TDO vs a fixed aggressive configuration *)
+  let tdo = time ~specs:E.composite_specs () in
+  let fixed =
+    time
+      ~specs:[ Pgpu_transforms.Coarsen.spec ~block:(Pgpu_transforms.Coarsen.Total 16) () ]
+      ~tune:false ()
+  in
+  Fmt.pr "TDO over %d configs: %.5f s; fixed block x16: %.5f s@.@."
+    (List.length E.composite_specs)
+    tdo fixed
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the compiler                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  heading "Compiler micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let lud_src = (P.Rodinia.find "lud").P.Bench_def.source in
+  let parsed = P.Frontend.compile_string lud_src in
+  let wrapper_region =
+    let region = ref None in
+    List.iter
+      (fun (f : Pgpu_ir.Instr.func) ->
+        Pgpu_ir.Instr.iter_deep
+          (fun i ->
+            match i with
+            | Pgpu_ir.Instr.Gpu_wrapper { name = "lud_internal"; body; _ } ->
+                if !region = None then region := Some body
+            | _ -> ())
+          f.Pgpu_ir.Instr.body)
+      parsed.Pgpu_ir.Instr.funcs;
+    Option.get !region
+  in
+  let tests =
+    [
+      Test.make ~name:"frontend: parse+lower lud"
+        (Staged.stage (fun () -> ignore (P.Frontend.compile_string lud_src)));
+      Test.make ~name:"coarsen: block x4 thread x2 (lud_internal)"
+        (Staged.stage (fun () ->
+             let region = Pgpu_ir.Clone.block wrapper_region in
+             let const_of = Pgpu_transforms.Coarsen.const_env [ region ] in
+             let spec =
+               Pgpu_transforms.Coarsen.spec
+                 ~block:(Pgpu_transforms.Coarsen.Total 4)
+                 ~thread:(Pgpu_transforms.Coarsen.Total 2) ()
+             in
+             ignore (Pgpu_transforms.Coarsen.coarsen_region ~const_of spec region)));
+      Test.make ~name:"scalar pipeline (lud module)"
+        (Staged.stage (fun () -> ignore (Pgpu_transforms.Pipeline.scalar_pipeline parsed)));
+      Test.make ~name:"backend: regalloc + stats (lud_internal)"
+        (Staged.stage (fun () -> ignore (Pgpu_target.Backend.analyze Descriptor.a100 wrapper_region)));
+      Test.make ~name:"occupancy (A100)"
+        (Staged.stage (fun () ->
+             ignore
+               (Pgpu_target.Occupancy.compute Descriptor.a100
+                  {
+                    Pgpu_target.Occupancy.threads_per_block = 256;
+                    regs_per_thread = 32;
+                    shmem_per_block = 2048;
+                  })));
+    ]
+  in
+  let benchmark test =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  let results = benchmark (Test.make_grouped ~name:"pgpu" ~fmt:"%s %s" tests) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ t ] -> rows := (name, t) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, t) -> Fmt.pr "%-50s %12.1f ns/run@." name t)
+    (List.sort compare !rows);
+  Fmt.pr "@."
+
+let all () =
+  table1 ();
+  fig13 ();
+  fig14 ();
+  table2 ();
+  fig15 ();
+  fig16 ();
+  fig17 ();
+  hipify ();
+  ablation ();
+  micro ()
+
+let () =
+  Fmt.pr "Polygeist-GPU reproduction: evaluation harness (simulated GPUs)@.";
+  Fmt.pr "Times are simulator estimates; shapes, not absolute values, are the target.@.";
+  let cmds =
+    [
+      ("table1", table1);
+      ("fig13", fig13);
+      ("vii-b", fig13);
+      ("fig14", fig14);
+      ("fig15", fig15);
+      ("table2", table2);
+      ("fig16", fig16);
+      ("fig17", fig17);
+      ("hipify", hipify);
+      ("ablation", ablation);
+      ("micro", micro);
+      ("all", all);
+    ]
+  in
+  let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick") in
+  match args with
+  | [] -> all ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name cmds with
+          | Some f -> f ()
+          | None ->
+              Fmt.epr "unknown experiment %S; available: %a@." name
+                Fmt.(list ~sep:comma string)
+                (List.map fst cmds);
+              exit 1)
+        names

@@ -1,0 +1,212 @@
+(** pgpu — the Polygeist-GPU reproduction command-line driver.
+
+    Compile mini-CUDA programs, inspect the parallel IR and the
+    multi-versioning decisions, run programs on the simulated GPUs
+    (with or without timing-driven optimization), translate to AMD,
+    and run the bundled Rodinia benchmarks. *)
+
+module P = Pgpu_core.Polygeist_gpu
+module Descriptor = Pgpu_target.Descriptor
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let setup_logs_t =
+  Term.(
+    const setup_logs
+    $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging (shows TDO decisions)."))
+
+(* --- common arguments --- *)
+
+let target_arg =
+  let choices =
+    List.concat_map
+      (fun (t : Descriptor.t) -> [ (t.Descriptor.arch, t); (t.Descriptor.name, t) ])
+      Descriptor.all
+  in
+  Arg.(
+    value
+    & opt (enum choices) Descriptor.a100
+    & info [ "t"; "target" ] ~docv:"TARGET"
+        ~doc:"Target GPU: sm_80 (A100), sm_86 (A4000), gfx1030 (RX6800), gfx90a (MI210).")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-CUDA source file.")
+
+let no_opt_arg =
+  Arg.(value & flag & info [ "no-opt" ] ~doc:"Disable scalar optimizations (CSE, LICM, ...).")
+
+let coarsen_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:',' int int) []
+    & info [ "c"; "coarsen" ] ~docv:"B,T"
+        ~doc:
+          "Coarsening configuration (block_total,thread_total); repeatable. Multiple \
+           configurations become alternatives resolved by --tune or --choice.")
+
+let tune_arg =
+  Arg.(value & flag & info [ "tune" ] ~doc:"Timing-driven selection of alternatives (TDO).")
+
+let choice_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "choice" ] ~docv:"N" ~doc:"Fixed alternatives region when not tuning.")
+
+let args_arg =
+  Arg.(
+    value & opt (list int) []
+    & info [ "a"; "args" ] ~docv:"INTS" ~doc:"Integer arguments passed to main.")
+
+let specs_of coarsen = if coarsen = [] then [] else P.specs_of_totals coarsen
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the final IR module.") in
+  let run () file target no_opt coarsen dump =
+    let c =
+      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~target
+        ~source:(read_file file) ()
+    in
+    List.iter
+      (fun (k : P.Pipeline.kernel_report) ->
+        Fmt.pr "kernel %s:@." k.P.Pipeline.kernel;
+        List.iter
+          (fun (cand : P.Alternatives.candidate) ->
+            Fmt.pr "  %-28s %a" cand.P.Alternatives.desc P.Alternatives.pp_decision
+              cand.P.Alternatives.decision;
+            (match cand.P.Alternatives.stats with
+            | Some s -> Fmt.pr "  [%a]" P.Backend.pp_stats s
+            | None -> ());
+            Fmt.pr "@.")
+          k.P.Pipeline.candidates)
+      c.P.report.P.Pipeline.kernels;
+    if dump then Fmt.pr "%a@." Pgpu_ir.Instr.pp_modul c.P.modul;
+    0
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a mini-CUDA file and report multi-versioning decisions.")
+    Term.(const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ dump_ir)
+
+(* --- run --- *)
+
+let print_run_summary (r : P.run_result) =
+  List.iteri
+    (fun i out ->
+      let n = List.length out in
+      let show = List.filteri (fun k _ -> k < 8) out in
+      Fmt.pr "output %d: %d elements [@[%a%s@]]@." i n
+        Fmt.(list ~sep:(any "; ") (fmt "%g"))
+        show
+        (if n > 8 then "; ..." else ""))
+    r.P.outputs;
+  Fmt.pr "composite time: %.6f s over %d kernel launches@." r.P.composite_seconds
+    (List.length r.P.records);
+  List.iter
+    (fun k -> Fmt.pr "  kernel %-20s %.6f s@." k (P.kernel_seconds r k))
+    (P.kernel_names r)
+
+let run_cmd =
+  let run () file target no_opt coarsen tune choice args =
+    let c =
+      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~target
+        ~source:(read_file file) ()
+    in
+    let r = P.run ~tune ~fixed_choice:choice c ~args in
+    print_run_summary r;
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a mini-CUDA file on the simulated GPU.")
+    Term.(
+      const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
+      $ choice_arg $ args_arg)
+
+(* --- bench --- *)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Rodinia benchmark name (see $(b,pgpu list)).")
+  in
+  let verify_arg =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Check outputs against the CPU reference.")
+  in
+  let perf_arg =
+    Arg.(value & flag & info [ "perf" ] ~doc:"Evaluation-scale problem size, sampled grids.")
+  in
+  let run () name target no_opt coarsen tune verify perf args =
+    let b =
+      try P.Rodinia.find name with Failure _ -> P.Hecbench.find name
+    in
+    let args = if args = [] then None else Some args in
+    let r =
+      P.run_rodinia ~verify ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tune ~perf ~target
+        ?args b
+    in
+    print_run_summary r;
+    if verify then Fmt.pr "outputs verified against the CPU reference.@.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run a bundled Rodinia benchmark.")
+    Term.(
+      const run $ setup_logs_t $ name_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
+      $ verify_arg $ perf_arg $ args_arg)
+
+(* --- hipify --- *)
+
+let hipify_cmd =
+  let run () file =
+    let src = read_file file in
+    let out, issues = P.Hipify.hipify src in
+    List.iter (fun i -> Fmt.epr "note: %a@." P.Hipify.pp_issue i) issues;
+    Fmt.pr "%s@." out;
+    0
+  in
+  Cmd.v
+    (Cmd.info "hipify"
+       ~doc:"Source-to-source CUDA-to-HIP translation (the baseline of Section VII-D).")
+    Term.(const run $ setup_logs_t $ file_arg)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "targets:@.";
+    List.iter (fun t -> Fmt.pr "  %a@." Descriptor.pp t) Descriptor.all;
+    Fmt.pr "benchmarks (Rodinia):@.";
+    List.iter
+      (fun (b : P.Bench_def.t) ->
+        Fmt.pr "  %-16s %s@." b.P.Bench_def.name b.P.Bench_def.description)
+      P.Rodinia.all;
+    Fmt.pr "benchmarks (HeCBench subset):@.";
+    List.iter
+      (fun (b : P.Bench_def.t) ->
+        Fmt.pr "  %-16s %s@." b.P.Bench_def.name b.P.Bench_def.description)
+      P.Hecbench.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available targets and benchmarks.") Term.(const run $ setup_logs_t)
+
+let main =
+  Cmd.group
+    (Cmd.info "pgpu" ~version:"1.0.0"
+       ~doc:
+         "Retargeting and respecializing GPU workloads for performance portability \
+          (CGO 2024 reproduction on simulated GPUs).")
+    [ compile_cmd; run_cmd; bench_cmd; hipify_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main)

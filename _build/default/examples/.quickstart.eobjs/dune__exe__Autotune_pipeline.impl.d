@@ -1,0 +1,1 @@
+examples/autotune_pipeline.ml: Fmt List Logs Logs_fmt Pgpu_core Pgpu_transforms

@@ -1,0 +1,1 @@
+examples/autotune_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/lud_tuning.ml: Fmt List Pgpu_core Pgpu_transforms String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float Fmt List Pgpu_core

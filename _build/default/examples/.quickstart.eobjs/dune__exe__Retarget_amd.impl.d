@@ -1,0 +1,1 @@
+examples/retarget_amd.ml: Fmt List Pgpu_core

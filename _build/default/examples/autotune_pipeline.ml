@@ -1,0 +1,42 @@
+(** Alternative code paths end-to-end (Section VI): multi-version a
+    kernel with several coarsening configurations, watch the static
+    pruning stages discard infeasible ones, and let the timing-driven
+    optimization pick the winner at run time.
+
+    Run with: [dune exec examples/autotune_pipeline.exe] *)
+
+module P = Pgpu_core.Polygeist_gpu
+module Alternatives = Pgpu_transforms.Alternatives
+
+let () =
+  Logs.set_level (Some Logs.Debug);
+  Logs.set_reporter (Logs_fmt.reporter ());
+  let b = P.Rodinia.find "srad_v1" in
+  (* a deliberately wide spread, including configurations that the
+     pruning stages must reject *)
+  let specs =
+    P.specs_of_totals
+      [ (1, 1); (2, 1); (4, 1); (8, 1); (64, 1); (1, 2); (1, 4); (2, 2); (1, 512) ]
+  in
+  let c = P.compile ~target:P.Descriptor.a100 ~specs ~source:b.P.Bench_def.source () in
+  Fmt.pr "== compile-time decisions per kernel ==@.";
+  List.iter
+    (fun (k : P.Pipeline.kernel_report) ->
+      Fmt.pr "kernel %s:@." k.P.Pipeline.kernel;
+      List.iter
+        (fun (cand : Alternatives.candidate) ->
+          Fmt.pr "  %-24s %a@." cand.Alternatives.desc Alternatives.pp_decision
+            cand.Alternatives.decision)
+        k.P.Pipeline.candidates)
+    c.P.report.P.Pipeline.kernels;
+  Fmt.pr "@.== timing-driven optimization (debug log shows the choices) ==@.";
+  let r = P.run ~tune:true c ~args:b.P.Bench_def.args in
+  Fmt.pr "@.composite: %.6f s@." r.P.composite_seconds;
+  List.iter
+    (fun k -> Fmt.pr "  kernel %-10s %.6f s@." k (P.kernel_seconds r k))
+    (P.kernel_names r);
+  (* compare against the un-versioned baseline *)
+  let base = P.compile ~target:P.Descriptor.a100 ~source:b.P.Bench_def.source () in
+  let r0 = P.run base ~args:b.P.Bench_def.args in
+  Fmt.pr "baseline composite: %.6f s (TDO speedup %.2fx)@." r0.P.composite_seconds
+    (r0.P.composite_seconds /. r.P.composite_seconds)

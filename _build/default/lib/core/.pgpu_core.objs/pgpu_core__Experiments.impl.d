@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Alternatives Bench_def Coarsen Counters Descriptor Exec Fmt Hecbench Hipify List Pgpu_support Pipeline Polygeist_gpu Rodinia Runtime String Timing

@@ -1,0 +1,1 @@
+lib/core/polygeist_gpu.ml: Array Float List Option Pgpu_frontend Pgpu_gpusim Pgpu_hecbench Pgpu_ir Pgpu_retarget Pgpu_rodinia Pgpu_runtime Pgpu_support Pgpu_target Pgpu_transforms String

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Array Buffer Fmt Hashtbl List String

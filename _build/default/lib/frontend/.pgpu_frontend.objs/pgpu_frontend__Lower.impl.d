@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Builder Fmt Instr List Map Ops Option Pgpu_ir Set String Types Value

@@ -1,0 +1,107 @@
+(** Abstract syntax of mini-CUDA: the C-with-CUDA-extensions subset in
+    which the benchmark suite is written. It covers the constructs the
+    Rodinia kernels use — [__global__] kernels, [__shared__] arrays
+    (1-D and 2-D, statically sized), the thread/block builtins,
+    [__syncthreads], triple-chevron launches, and the host-side CUDA
+    runtime calls. *)
+
+type ty = Tvoid | Tbool | Tint | Tlong | Tfloat | Tdouble | Tptr of ty
+
+let rec pp_ty ppf = function
+  | Tvoid -> Fmt.string ppf "void"
+  | Tbool -> Fmt.string ppf "bool"
+  | Tint -> Fmt.string ppf "int"
+  | Tlong -> Fmt.string ppf "long"
+  | Tfloat -> Fmt.string ppf "float"
+  | Tdouble -> Fmt.string ppf "double"
+  | Tptr t -> Fmt.pf ppf "%a*" pp_ty t
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Beq
+  | Bne
+  | Band  (** &&, short-circuit *)
+  | Bor  (** ||, short-circuit *)
+  | Bbitand
+  | Bbitor
+  | Bbitxor
+  | Bshl
+  | Bshr
+
+type unop = Uneg | Unot | Ubitnot
+
+(** CUDA index builtins: which register and which dimension (0 = x). *)
+type builtin = Thread_idx | Block_idx | Block_dim | Grid_dim
+
+type expr =
+  | Eint of int
+  | Efloat of float * bool  (** literal, [true] when double (no 'f' suffix) *)
+  | Ebool of bool
+  | Evar of string
+  | Ebuiltin of builtin * int
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Econd of expr * expr * expr  (** c ? a : b *)
+  | Ecall of string * expr list
+  | Eindex of expr * expr list  (** a[i] or s[i][j] *)
+  | Ecast of ty * expr
+  | Esizeof of ty
+  | Eaddr of string  (** &v — only as a cudaMalloc argument *)
+
+(** Variable declaration: scalars with optional initializer, or
+    statically-sized (shared) arrays. *)
+type decl = {
+  d_ty : ty;
+  d_name : string;
+  d_dims : int list;  (** [] for scalars; up to 2 static dims for arrays *)
+  d_shared : bool;
+  d_init : expr option;
+}
+
+type lhs = Lvar of string | Lindex of expr * expr list
+
+type stmt =
+  | Sdecl of decl
+  | Sassign of lhs * expr  (** plain [=]; compound ops are desugared by the parser *)
+  | Sexpr of expr
+  | Sif of expr * stmt list * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+      (** init; cond; step — the canonical counted shape is recognized
+          during lowering, everything else becomes a while loop *)
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr  (** do { body } while (cond) *)
+  | Sreturn of expr option
+  | Ssync
+  | Sdim3 of string * expr list  (** dim3 g(gx, gy, gz); components captured at decl *)
+  | Slaunch of { kernel : string; grid : expr list; block : expr list; args : expr list }
+  | Scuda_malloc of string * expr  (** cudaMalloc(&name, bytes) *)
+  | Scuda_memcpy of { dst : expr; src : expr; bytes : expr }
+  | Scuda_free of expr
+  | Sblock of stmt list
+
+type param = { p_ty : ty; p_name : string }
+
+type func_kind = Host | Kernel  (** [__global__] *)
+
+type func = {
+  f_kind : func_kind;
+  f_ret : ty;
+  f_name : string;
+  f_params : param list;
+  f_body : stmt list;
+}
+
+type program = { funcs : func list }
+
+let find_func p name =
+  match List.find_opt (fun f -> String.equal f.f_name name) p.funcs with
+  | Some f -> f
+  | None -> Pgpu_support.Util.failf "mini-CUDA: no function named %s" name

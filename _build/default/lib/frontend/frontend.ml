@@ -1,0 +1,19 @@
+(** Frontend facade: mini-CUDA source to IR module. *)
+
+exception Error of string
+
+(** Parse and lower a mini-CUDA translation unit. Host and device code
+    end up in a single IR module (kernels inlined at launch sites as
+    gpu_wrapper regions). Raises [Error] with a diagnostic on invalid
+    input. *)
+let compile_string (src : string) : Pgpu_ir.Instr.modul =
+  try Lower.lower_program (Parser.parse_program src) with
+  | Lexer.Error m -> raise (Error m)
+  | Lower.Error m -> raise (Error m)
+
+let compile_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  compile_string src

@@ -1,0 +1,248 @@
+(** Hand-written lexer for mini-CUDA, with a tiny preprocessor that
+    handles object-like [#define NAME value] substitution and strips
+    [#include] lines (the CUDA runtime headers are built in). *)
+
+type token =
+  | Tid of string
+  | Tint_lit of int
+  | Tfloat_lit of float * bool  (** value, is_double *)
+  | Tpunct of string  (** operators and punctuation, longest-match *)
+  | Teof
+
+type t = { toks : (token * int) array; mutable pos : int }  (** token, line *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Multi-character punctuation, longest first. *)
+let puncts =
+  [
+    "<<<";
+    ">>>";
+    "<<=";
+    ">>=";
+    "&&";
+    "||";
+    "==";
+    "!=";
+    "<=";
+    ">=";
+    "+=";
+    "-=";
+    "*=";
+    "/=";
+    "%=";
+    "&=";
+    "|=";
+    "^=";
+    "<<";
+    ">>";
+    "++";
+    "--";
+    "->";
+    "+";
+    "-";
+    "*";
+    "/";
+    "%";
+    "<";
+    ">";
+    "=";
+    "!";
+    "&";
+    "|";
+    "^";
+    "~";
+    "?";
+    ":";
+    ";";
+    ",";
+    ".";
+    "(";
+    ")";
+    "[";
+    "]";
+    "{";
+    "}";
+  ]
+
+(** Strip comments and apply #define / #include handling. Returns the
+    preprocessed source. *)
+let preprocess src =
+  let b = Buffer.create (String.length src) in
+  let defines = Hashtbl.create 16 in
+  let n = String.length src in
+  let i = ref 0 in
+  let line_start = ref true in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      while !i + 1 < n && not (src.[!i] = '*' && src.[!i + 1] = '/') do
+        if src.[!i] = '\n' then Buffer.add_char b '\n';
+        incr i
+      done;
+      i := !i + 2
+    end
+    else if c = '#' && !line_start then begin
+      (* read the directive line *)
+      let j = ref !i in
+      while !j < n && src.[!j] <> '\n' do
+        incr j
+      done;
+      let line = String.sub src !i (!j - !i) in
+      (match String.split_on_char ' ' (String.trim line) with
+      | d :: rest when String.length d >= 7 && String.sub d 0 7 = "#define" -> (
+          match List.filter (fun s -> s <> "") rest with
+          | name :: value ->
+              if String.contains name '(' then error "function-like #define is not supported";
+              Hashtbl.replace defines name (String.concat " " value)
+          | [] -> error "malformed #define")
+      | d :: _ when String.length d >= 8 && String.sub d 0 8 = "#include" -> ()
+      | d :: _ -> error "unsupported preprocessor directive %s" d
+      | [] -> ());
+      i := !j;
+      Buffer.add_char b '\n'
+    end
+    else begin
+      if is_id_start c then begin
+        (* identifier: apply defines *)
+        let j = ref !i in
+        while !j < n && is_id_char src.[!j] do
+          incr j
+        done;
+        let id = String.sub src !i (!j - !i) in
+        (match Hashtbl.find_opt defines id with
+        | Some value -> Buffer.add_string b (" " ^ value ^ " ")
+        | None -> Buffer.add_string b id);
+        i := !j
+      end
+      else begin
+        Buffer.add_char b c;
+        incr i
+      end;
+      if c = '\n' then line_start := true
+      else if c <> ' ' && c <> '\t' && c <> '\r' then line_start := false
+    end;
+    if !i < n && src.[max 0 (!i - 1)] = '\n' then line_start := true
+  done;
+  Buffer.contents b
+
+let tokenize src =
+  let src = preprocess src in
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let j = ref !i in
+      let isfloat = ref false in
+      while
+        !j < n
+        && (is_digit src.[!j] || src.[!j] = '.'
+           || src.[!j] = 'e' || src.[!j] = 'E'
+           || ((src.[!j] = '+' || src.[!j] = '-')
+              && !j > !i
+              && (src.[!j - 1] = 'e' || src.[!j - 1] = 'E')))
+      do
+        if src.[!j] = '.' || src.[!j] = 'e' || src.[!j] = 'E' then isfloat := true;
+        incr j
+      done;
+      let text = String.sub src !i (!j - !i) in
+      if !isfloat then begin
+        let is_double = not (!j < n && (src.[!j] = 'f' || src.[!j] = 'F')) in
+        if not is_double then incr j;
+        push (Tfloat_lit (float_of_string text, is_double))
+      end
+      else begin
+        (* 123u / 123l suffixes tolerated *)
+        while !j < n && (src.[!j] = 'u' || src.[!j] = 'l' || src.[!j] = 'U' || src.[!j] = 'L') do
+          incr j
+        done;
+        push (Tint_lit (int_of_string text))
+      end;
+      i := !j
+    end
+    else if is_id_start c then begin
+      let j = ref !i in
+      while !j < n && is_id_char src.[!j] do
+        incr j
+      done;
+      push (Tid (String.sub src !i (!j - !i)));
+      i := !j
+    end
+    else begin
+      match
+        List.find_opt
+          (fun p ->
+            let l = String.length p in
+            !i + l <= n && String.sub src !i l = p)
+          puncts
+      with
+      | Some p ->
+          push (Tpunct p);
+          i := !i + String.length p
+      | None -> error "line %d: unexpected character %C" !line c
+    end
+  done;
+  push Teof;
+  { toks = Array.of_list (List.rev !toks); pos = 0 }
+
+let peek lx = fst lx.toks.(lx.pos)
+let peek2 lx = if lx.pos + 1 < Array.length lx.toks then fst lx.toks.(lx.pos + 1) else Teof
+let line lx = snd lx.toks.(min lx.pos (Array.length lx.toks - 1))
+let advance lx = lx.pos <- min (lx.pos + 1) (Array.length lx.toks - 1)
+
+let next lx =
+  let t = peek lx in
+  advance lx;
+  t
+
+let pp_token ppf = function
+  | Tid s -> Fmt.pf ppf "identifier %S" s
+  | Tint_lit n -> Fmt.pf ppf "integer %d" n
+  | Tfloat_lit (f, _) -> Fmt.pf ppf "float %g" f
+  | Tpunct p -> Fmt.pf ppf "%S" p
+  | Teof -> Fmt.string ppf "end of file"
+
+let expect lx p =
+  match next lx with
+  | Tpunct q when String.equal p q -> ()
+  | t -> error "line %d: expected %S, found %a" (line lx) p pp_token t
+
+let expect_id lx =
+  match next lx with
+  | Tid s -> s
+  | t -> error "line %d: expected identifier, found %a" (line lx) pp_token t
+
+let accept lx p =
+  match peek lx with
+  | Tpunct q when String.equal p q ->
+      advance lx;
+      true
+  | _ -> false
+
+let accept_id lx s =
+  match peek lx with
+  | Tid q when String.equal s q ->
+      advance lx;
+      true
+  | _ -> false

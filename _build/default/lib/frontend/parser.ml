@@ -1,0 +1,434 @@
+(** Recursive-descent parser for mini-CUDA. *)
+
+open Ast
+open Lexer
+
+let error lx fmt = Fmt.kstr (fun s -> raise (Lexer.Error (Fmt.str "line %d: %s" (line lx) s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_type_keyword = function
+  | "void" | "bool" | "int" | "long" | "float" | "double" | "unsigned" | "size_t" -> true
+  | _ -> false
+
+let rec parse_type lx =
+  let base =
+    match next lx with
+    | Tid "void" -> Tvoid
+    | Tid "bool" -> Tbool
+    | Tid "unsigned" ->
+        (* unsigned [int|long] — modelled as the signed type *)
+        if accept_id lx "int" then Tint else if accept_id lx "long" then Tlong else Tint
+    | Tid "int" -> Tint
+    | Tid "size_t" -> Tlong
+    | Tid "long" ->
+        ignore (accept_id lx "long");
+        ignore (accept_id lx "int");
+        Tlong
+    | Tid "float" -> Tfloat
+    | Tid "double" -> Tdouble
+    | t -> error lx "expected a type, found %a" pp_token t
+  in
+  parse_stars lx base
+
+and parse_stars lx base = if accept lx "*" then parse_stars lx (Tptr base) else base
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_of_id = function
+  | "threadIdx" -> Some Thread_idx
+  | "blockIdx" -> Some Block_idx
+  | "blockDim" -> Some Block_dim
+  | "gridDim" -> Some Grid_dim
+  | _ -> None
+
+let dim_of_axis lx = function
+  | "x" -> 0
+  | "y" -> 1
+  | "z" -> 2
+  | a -> error lx "unknown builtin axis .%s" a
+
+let rec parse_expr lx = parse_cond lx
+
+and parse_cond lx =
+  let c = parse_binary lx 0 in
+  if accept lx "?" then begin
+    let a = parse_expr lx in
+    expect lx ":";
+    let b = parse_cond lx in
+    Econd (c, a, b)
+  end
+  else c
+
+(** Binary operator table by precedence level (low to high). *)
+and binop_levels =
+  [|
+    [ ("||", Bor) ];
+    [ ("&&", Band) ];
+    [ ("|", Bbitor) ];
+    [ ("^", Bbitxor) ];
+    [ ("&", Bbitand) ];
+    [ ("==", Beq); ("!=", Bne) ];
+    [ ("<", Blt); ("<=", Ble); (">", Bgt); (">=", Bge) ];
+    [ ("<<", Bshl); (">>", Bshr) ];
+    [ ("+", Badd); ("-", Bsub) ];
+    [ ("*", Bmul); ("/", Bdiv); ("%", Bmod) ];
+  |]
+
+and parse_binary lx level =
+  if level >= Array.length binop_levels then parse_unary lx
+  else begin
+    let lhs = ref (parse_binary lx (level + 1)) in
+    let continue_ = ref true in
+    while !continue_ do
+      match peek lx with
+      | Tpunct p when List.mem_assoc p binop_levels.(level) ->
+          advance lx;
+          let rhs = parse_binary lx (level + 1) in
+          lhs := Ebin (List.assoc p binop_levels.(level), !lhs, rhs)
+      | _ -> continue_ := false
+    done;
+    !lhs
+  end
+
+and parse_unary lx =
+  match peek lx with
+  | Tpunct "-" ->
+      advance lx;
+      Eun (Uneg, parse_unary lx)
+  | Tpunct "+" ->
+      advance lx;
+      parse_unary lx
+  | Tpunct "!" ->
+      advance lx;
+      Eun (Unot, parse_unary lx)
+  | Tpunct "~" ->
+      advance lx;
+      Eun (Ubitnot, parse_unary lx)
+  | Tpunct "&" ->
+      advance lx;
+      let name = expect_id lx in
+      Eaddr name
+  | Tpunct "(" when is_cast lx ->
+      advance lx;
+      let ty = parse_type lx in
+      expect lx ")";
+      Ecast (ty, parse_unary lx)
+  | Tid "sizeof" ->
+      advance lx;
+      expect lx "(";
+      let ty = parse_type lx in
+      expect lx ")";
+      Esizeof ty
+  | _ -> parse_postfix lx
+
+and is_cast lx =
+  (* "(" followed by a type keyword is a cast *)
+  match (peek lx, peek2 lx) with Tpunct "(", Tid id -> is_type_keyword id | _ -> false
+
+and parse_postfix lx =
+  let e = ref (parse_primary lx) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept lx "[" then begin
+      let i = parse_expr lx in
+      expect lx "]";
+      match !e with
+      | Eindex (b, idxs) -> e := Eindex (b, idxs @ [ i ])
+      | b -> e := Eindex (b, [ i ])
+    end
+    else continue_ := false
+  done;
+  !e
+
+and parse_primary lx =
+  match next lx with
+  | Tint_lit n -> Eint n
+  | Tfloat_lit (f, d) -> Efloat (f, d)
+  | Tid "true" -> Ebool true
+  | Tid "false" -> Ebool false
+  | Tpunct "(" ->
+      let e = parse_expr lx in
+      expect lx ")";
+      e
+  | Tid id -> (
+      match builtin_of_id id with
+      | Some b ->
+          expect lx ".";
+          let axis = expect_id lx in
+          Ebuiltin (b, dim_of_axis lx axis)
+      | None ->
+          if accept lx "(" then begin
+            let args = parse_args lx in
+            Ecall (id, args)
+          end
+          else Evar id)
+  | t -> error lx "unexpected token %a in expression" pp_token t
+
+and parse_args lx =
+  if accept lx ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr lx in
+      if accept lx "," then go (e :: acc)
+      else begin
+        expect lx ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lhs_to_expr = function Lvar v -> Evar v | Lindex (b, i) -> Eindex (b, i)
+
+let compound_ops =
+  [ ("+=", Badd); ("-=", Bsub); ("*=", Bmul); ("/=", Bdiv); ("%=", Bmod); ("&=", Bbitand);
+    ("|=", Bbitor); ("^=", Bbitxor); ("<<=", Bshl); (">>=", Bshr) ]
+
+(** Parse an assignment / increment / call without the trailing ';'
+    (shared by expression statements and for-loop headers). *)
+let rec parse_simple_stmt lx : stmt =
+  match (peek lx, peek2 lx) with
+  | Tpunct "++", Tid v | Tpunct "--", Tid v ->
+      let op = match peek lx with Tpunct "++" -> Badd | _ -> Bsub in
+      advance lx;
+      advance lx;
+      Sassign (Lvar v, Ebin (op, Evar v, Eint 1))
+  | _ ->
+      let e = parse_expr lx in
+      let as_lhs () =
+        match e with
+        | Evar v -> Lvar v
+        | Eindex (b, i) -> Lindex (b, i)
+        | _ -> error lx "expression is not assignable"
+      in
+      (match peek lx with
+      | Tpunct "=" ->
+          advance lx;
+          let rhs = parse_expr lx in
+          Sassign (as_lhs (), rhs)
+      | Tpunct "++" ->
+          advance lx;
+          let l = as_lhs () in
+          Sassign (l, Ebin (Badd, lhs_to_expr l, Eint 1))
+      | Tpunct "--" ->
+          advance lx;
+          let l = as_lhs () in
+          Sassign (l, Ebin (Bsub, lhs_to_expr l, Eint 1))
+      | Tpunct p when List.mem_assoc p compound_ops ->
+          advance lx;
+          let rhs = parse_expr lx in
+          let l = as_lhs () in
+          Sassign (l, Ebin (List.assoc p compound_ops, lhs_to_expr l, rhs))
+      | _ -> Sexpr e)
+
+and parse_decl_group lx ~shared ty : stmt list =
+  (* one or more declarators *)
+  let rec go acc =
+    let ty = parse_stars lx ty in
+    let name = expect_id lx in
+    let dims = ref [] in
+    while accept lx "[" do
+      (match next lx with
+      | Tint_lit n -> dims := !dims @ [ n ]
+      | t -> error lx "array dimensions must be integer literals, found %a" pp_token t);
+      expect lx "]"
+    done;
+    let init = if accept lx "=" then Some (parse_expr lx) else None in
+    let d = Sdecl { d_ty = ty; d_name = name; d_dims = !dims; d_shared = shared; d_init = init } in
+    if accept lx "," then go (d :: acc)
+    else begin
+      expect lx ";";
+      List.rev (d :: acc)
+    end
+  in
+  go []
+
+and parse_stmt lx : stmt list =
+  match peek lx with
+  | Tpunct "{" ->
+      advance lx;
+      let body = parse_stmts lx in
+      expect lx "}";
+      [ Sblock body ]
+  | Tpunct ";" ->
+      advance lx;
+      []
+  | Tid "__shared__" ->
+      advance lx;
+      let ty = parse_type lx in
+      parse_decl_group lx ~shared:true ty
+  | Tid "const" ->
+      advance lx;
+      let ty = parse_type lx in
+      parse_decl_group lx ~shared:false ty
+  | Tid "dim3" ->
+      advance lx;
+      let name = expect_id lx in
+      let comps =
+        if accept lx "(" then parse_args lx
+        else if accept lx "=" then begin
+          if not (accept_id lx "dim3") then error lx "expected dim3(...) initializer";
+          expect lx "(";
+          parse_args lx
+        end
+        else [ Eint 1 ]
+      in
+      expect lx ";";
+      [ Sdim3 (name, comps) ]
+  | Tid "if" ->
+      advance lx;
+      expect lx "(";
+      let c = parse_expr lx in
+      expect lx ")";
+      let then_ = parse_stmt lx in
+      let else_ = if accept_id lx "else" then parse_stmt lx else [] in
+      [ Sif (c, then_, else_) ]
+  | Tid "for" ->
+      advance lx;
+      expect lx "(";
+      let init =
+        if accept lx ";" then None
+        else begin
+          let s =
+            match peek lx with
+            | Tid id when is_type_keyword id ->
+                let ty = parse_type lx in
+                let name = expect_id lx in
+                expect lx "=";
+                let e = parse_expr lx in
+                Sdecl { d_ty = ty; d_name = name; d_dims = []; d_shared = false; d_init = Some e }
+            | _ -> parse_simple_stmt lx
+          in
+          expect lx ";";
+          Some s
+        end
+      in
+      let cond = if accept lx ";" then None else (let c = parse_expr lx in expect lx ";"; Some c) in
+      let step = if accept lx ")" then None else (let s = parse_simple_stmt lx in expect lx ")"; Some s) in
+      let body = parse_stmt lx in
+      [ Sfor (init, cond, step, body) ]
+  | Tid "while" ->
+      advance lx;
+      expect lx "(";
+      let c = parse_expr lx in
+      expect lx ")";
+      let body = parse_stmt lx in
+      [ Swhile (c, body) ]
+  | Tid "do" ->
+      advance lx;
+      let body = parse_stmt lx in
+      if not (accept_id lx "while") then error lx "expected while after do body";
+      expect lx "(";
+      let c = parse_expr lx in
+      expect lx ")";
+      expect lx ";";
+      [ Sdo (body, c) ]
+  | Tid "return" ->
+      advance lx;
+      let e = if accept lx ";" then None else (let e = parse_expr lx in expect lx ";"; Some e) in
+      [ Sreturn e ]
+  | Tid "break" | Tid "continue" -> error lx "break/continue are not supported"
+  | Tid "__syncthreads" ->
+      advance lx;
+      expect lx "(";
+      expect lx ")";
+      expect lx ";";
+      [ Ssync ]
+  | Tid id when is_type_keyword id ->
+      let ty = parse_type lx in
+      parse_decl_group lx ~shared:false ty
+  | Tid id when (match peek2 lx with Tpunct "<<<" -> true | _ -> false) ->
+      advance lx;
+      advance lx;
+      let parse_launch_dims () =
+        if accept_id lx "dim3" then begin
+          expect lx "(";
+          parse_args lx
+        end
+        else [ parse_expr lx ]
+      in
+      let grid = parse_launch_dims () in
+      expect lx ",";
+      let block = parse_launch_dims () in
+      expect lx ">>>";
+      expect lx "(";
+      let args = parse_args lx in
+      expect lx ";";
+      [ Slaunch { kernel = id; grid; block; args } ]
+  | _ -> (
+      let s = parse_simple_stmt lx in
+      expect lx ";";
+      match s with
+      | Sexpr (Ecall (("cudaMalloc" | "hipMalloc"), [ ptr; bytes ])) ->
+          let rec strip = function Ecast (_, e) -> strip e | e -> e in
+          (match strip ptr with
+          | Eaddr name -> [ Scuda_malloc (name, bytes) ]
+          | _ -> error lx "cudaMalloc expects &pointer")
+      | Sexpr (Ecall (("cudaMemcpy" | "hipMemcpy"), dst :: src :: bytes :: _)) ->
+          [ Scuda_memcpy { dst; src; bytes } ]
+      | Sexpr (Ecall (("cudaFree" | "hipFree" | "free"), [ p ])) -> [ Scuda_free p ]
+      | Sexpr
+          (Ecall
+            ( ( "cudaDeviceSynchronize" | "cudaThreadSynchronize" | "hipDeviceSynchronize"
+              | "hipThreadSynchronize" ),
+              [] )) ->
+          []
+      | s -> [ s ])
+
+and parse_stmts lx : stmt list =
+  let rec go acc =
+    match peek lx with
+    | Tpunct "}" | Teof -> List.rev acc
+    | _ ->
+        let ss = parse_stmt lx in
+        go (List.rev_append ss acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_func lx =
+  let kind = if accept_id lx "__global__" then Kernel else Host in
+  let ret = parse_type lx in
+  let name = expect_id lx in
+  expect lx "(";
+  let params =
+    if accept lx ")" then []
+    else begin
+      let rec go acc =
+        let ty = parse_type lx in
+        let pname = expect_id lx in
+        let p = { p_ty = ty; p_name = pname } in
+        if accept lx "," then go (p :: acc)
+        else begin
+          expect lx ")";
+          List.rev (p :: acc)
+        end
+      in
+      go []
+    end
+  in
+  expect lx "{";
+  let body = parse_stmts lx in
+  expect lx "}";
+  { f_kind = kind; f_ret = ret; f_name = name; f_params = params; f_body = body }
+
+let parse_program src =
+  let lx = tokenize src in
+  let rec go acc =
+    match peek lx with
+    | Teof -> { funcs = List.rev acc }
+    | _ -> go (parse_func lx :: acc)
+  in
+  go []

@@ -1,0 +1,1 @@
+lib/gpusim/exec.ml: Array Cache Counters Fmt Fun Hashtbl Instr List Memory Ops Option Pgpu_ir Pgpu_support Pgpu_target Types Value

@@ -1,0 +1,1 @@
+lib/gpusim/memory.ml: Array Pgpu_ir Pgpu_support Types

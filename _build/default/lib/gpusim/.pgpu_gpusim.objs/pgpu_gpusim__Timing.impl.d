@@ -1,0 +1,1 @@
+lib/gpusim/timing.ml: Counters Descriptor Exec Float Fmt List Occupancy Pgpu_support Pgpu_target

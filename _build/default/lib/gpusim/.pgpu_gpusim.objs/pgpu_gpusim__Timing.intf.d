@@ -1,0 +1,1 @@
+lib/gpusim/timing.mli: Descriptor Exec Fmt Occupancy Pgpu_target

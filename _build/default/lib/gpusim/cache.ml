@@ -1,0 +1,62 @@
+(** Set-associative LRU cache model, used for the per-SM L1 caches and
+    the device-wide L2. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  tags : int array;  (** sets * ways; -1 = invalid *)
+  last_use : int array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size_bytes ~line_bytes ~ways =
+  let lines = max ways (size_bytes / line_bytes) in
+  let sets = max 1 (lines / ways) in
+  {
+    sets;
+    ways;
+    line_bytes;
+    tags = Array.make (sets * ways) (-1);
+    last_use = Array.make (sets * ways) 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+(** Probe the cache with a byte address; allocates on miss (allocate-on-
+    read-and-write policy). Returns [true] on hit. *)
+let access t addr =
+  t.tick <- t.tick + 1;
+  let line = addr / t.line_bytes in
+  let set = line mod t.sets in
+  let base = set * t.ways in
+  let rec find w = if w = t.ways then None else if t.tags.(base + w) = line then Some w else find (w + 1) in
+  match find 0 with
+  | Some w ->
+      t.last_use.(base + w) <- t.tick;
+      t.hits <- t.hits + 1;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      (* evict LRU way *)
+      let victim = ref 0 in
+      for w = 1 to t.ways - 1 do
+        if t.last_use.(base + w) < t.last_use.(base + !victim) then victim := w
+      done;
+      t.tags.(base + !victim) <- line;
+      t.last_use.(base + !victim) <- t.tick;
+      false
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.last_use 0 (Array.length t.last_use) 0;
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total

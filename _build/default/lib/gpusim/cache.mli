@@ -1,0 +1,21 @@
+(** Set-associative LRU cache model, used for the per-SM L1 caches and
+    the device-wide L2 of the GPU simulator. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  tags : int array;
+  last_use : int array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+val create : size_bytes:int -> line_bytes:int -> ways:int -> t
+
+(** Probe with a byte address; allocates on miss. [true] on hit. *)
+val access : t -> int -> bool
+
+val reset : t -> unit
+val hit_rate : t -> float

@@ -1,0 +1,43 @@
+(** Simulated memories: buffers carry their contents (for functional
+    execution) and a simulated base byte address (for the cache and
+    coalescing models). *)
+
+open Pgpu_ir
+
+type data = I of int array | F of float array
+
+type buf = {
+  id : int;
+  space : Types.space;
+  elt : Types.t;
+  len : int;
+  data : data;
+  base : int;  (** simulated base byte address *)
+}
+
+(** Address-space allocator handing out non-overlapping simulated
+    addresses (256-byte aligned, as CUDA allocators do). *)
+type allocator
+
+val allocator : unit -> allocator
+val alloc : allocator -> Types.space -> Types.t -> int -> buf
+val elt_size : buf -> int
+
+(** @raise Failure on out-of-bounds access (the net that catches
+    transformation bugs). *)
+val check_bounds : buf -> int -> unit
+
+val get_f : buf -> int -> float
+val get_i : buf -> int -> int
+val set_f : buf -> int -> float -> unit
+val set_i : buf -> int -> int -> unit
+
+(** Byte address of element [idx]. *)
+val addr : buf -> int -> int
+
+(** Copy [count] elements (simulating cudaMemcpy). *)
+val copy : dst:buf -> src:buf -> int -> unit
+
+val fill_f : buf -> (int -> float) -> unit
+val fill_i : buf -> (int -> int) -> unit
+val to_float_list : buf -> float list

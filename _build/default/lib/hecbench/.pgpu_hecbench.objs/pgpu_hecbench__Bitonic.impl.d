@@ -1,0 +1,1 @@
+lib/hecbench/bitonic.ml: Array List Pgpu_rodinia

@@ -1,0 +1,1 @@
+lib/hecbench/blackscholes.ml: Array List Pgpu_rodinia

@@ -1,0 +1,1 @@
+lib/hecbench/conv1d.ml: Array List Pgpu_rodinia

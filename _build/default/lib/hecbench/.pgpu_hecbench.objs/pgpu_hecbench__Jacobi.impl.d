@@ -1,0 +1,1 @@
+lib/hecbench/jacobi.ml: Array Pgpu_rodinia

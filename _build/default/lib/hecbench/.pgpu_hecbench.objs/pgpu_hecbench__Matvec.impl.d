@@ -1,0 +1,1 @@
+lib/hecbench/matvec.ml: Array Pgpu_rodinia

@@ -1,0 +1,1 @@
+lib/hecbench/nbody.ml: Array List Pgpu_rodinia

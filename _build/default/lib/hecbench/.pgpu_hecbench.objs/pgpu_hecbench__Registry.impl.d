@@ -1,0 +1,1 @@
+lib/hecbench/registry.ml: Bitonic Blackscholes Conv1d Jacobi List Matvec Nbody Pgpu_rodinia Pgpu_support Softmax String Transpose

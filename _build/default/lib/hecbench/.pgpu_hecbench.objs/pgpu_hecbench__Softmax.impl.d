@@ -1,0 +1,1 @@
+lib/hecbench/softmax.ml: Array Float List Pgpu_rodinia

@@ -1,0 +1,1 @@
+lib/hecbench/transpose.ml: Array List Pgpu_rodinia

@@ -1,0 +1,82 @@
+(** Black-Scholes option pricing (HeCBench-style): embarrassingly
+    parallel, dominated by special-function-unit work (exp, log, sqrt)
+    with perfectly coalesced accesses — the SFU-throughput end of the
+    spectrum. *)
+
+module Bench_def = Pgpu_rodinia.Bench_def
+
+let source =
+  {|
+__global__ void blackscholes(float* price, float* strike, float* t,
+                             float* call, float* put, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float s = price[i];
+    float k = strike[i];
+    float tt = t[i];
+    float r = 0.02f;
+    float v = 0.30f;
+    float sq = v * sqrtf(tt);
+    float d1 = (logf(s / k) + (r + 0.5f * v * v) * tt) / sq;
+    float d2 = d1 - sq;
+    float nd1 = 1.0f / (1.0f + expf(-1.5976f * d1));
+    float nd2 = 1.0f / (1.0f + expf(-1.5976f * d2));
+    float e = expf(-r * tt);
+    float c = s * nd1 - k * e * nd2;
+    call[i] = c;
+    put[i] = c - s + k * e;
+  }
+}
+
+float* main(int n) {
+  float* hp = (float*)malloc(n * sizeof(float));
+  float* hk = (float*)malloc(n * sizeof(float));
+  float* ht = (float*)malloc(n * sizeof(float));
+  float* hc = (float*)malloc(n * sizeof(float));
+  fill_rand_range(hp, 211, 5.0f, 30.0f);
+  fill_rand_range(hk, 212, 1.0f, 100.0f);
+  fill_rand_range(ht, 213, 0.25f, 10.0f);
+  float* dp; float* dk; float* dt; float* dc; float* du;
+  cudaMalloc((void**)&dp, n * sizeof(float));
+  cudaMalloc((void**)&dk, n * sizeof(float));
+  cudaMalloc((void**)&dt, n * sizeof(float));
+  cudaMalloc((void**)&dc, n * sizeof(float));
+  cudaMalloc((void**)&du, n * sizeof(float));
+  cudaMemcpy(dp, hp, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dk, hk, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dt, ht, n * sizeof(float), cudaMemcpyHostToDevice);
+  blackscholes<<<(n + 255) / 256, 256>>>(dp, dk, dt, dc, du, n);
+  cudaMemcpy(hc, dc, n * sizeof(float), cudaMemcpyDeviceToHost);
+  return hc;
+}
+|}
+
+let reference args =
+  let n = List.hd args in
+  let p = Bench_def.rand_range 211 5. 30. n in
+  let k = Bench_def.rand_range 212 1. 100. n in
+  let t = Bench_def.rand_range 213 0.25 10. n in
+  Array.init n (fun i ->
+      let s = p.(i) and kk = k.(i) and tt = t.(i) in
+      let r = 0.02 and v = 0.30 in
+      let sq = v *. sqrt tt in
+      let d1 = (log (s /. kk) +. ((r +. (0.5 *. v *. v)) *. tt)) /. sq in
+      let d2 = d1 -. sq in
+      let nd1 = 1. /. (1. +. exp (-1.5976 *. d1)) in
+      let nd2 = 1. /. (1. +. exp (-1.5976 *. d2)) in
+      let e = exp (-.r *. tt) in
+      (s *. nd1) -. (kk *. e *. nd2))
+
+let bench : Bench_def.t =
+  {
+    name = "blackscholes";
+    description = "SFU-bound option pricing, perfectly coalesced";
+    source;
+    args = [ 32768 ];
+    test_args = [ 3000 ];
+    perf_args = [ 262144 ];
+    data_dependent_host = false;
+    reference;
+    tolerance = 2e-4;
+    fp64 = false;
+  }

@@ -1,0 +1,83 @@
+(** Jacobi relaxation (HeCBench-style): bandwidth-bound 5-point stencil
+    with no shared memory, ping-ponged from the host. The contrast to
+    hotspot (which tiles through shared memory) makes it a good probe
+    of the cache model. *)
+
+module Bench_def = Pgpu_rodinia.Bench_def
+
+let source =
+  {|
+__global__ void jacobi(float* src, float* dst, int n) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x > 0 && x < n - 1) {
+    if (y > 0 && y < n - 1) {
+      dst[y * n + x] = 0.25f * (src[y * n + x - 1] + src[y * n + x + 1]
+                                + src[(y - 1) * n + x] + src[(y + 1) * n + x]);
+    }
+  }
+}
+
+float* main(int nt, int iters) {
+  int n = nt * 16;
+  float* h = (float*)malloc(n * n * sizeof(float));
+  fill_rand(h, 221);
+  float* d0; float* d1;
+  cudaMalloc((void**)&d0, n * n * sizeof(float));
+  cudaMalloc((void**)&d1, n * n * sizeof(float));
+  cudaMemcpy(d0, h, n * n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d1, h, n * n * sizeof(float), cudaMemcpyHostToDevice);
+  dim3 grid(nt, nt);
+  dim3 blk(16, 16);
+  for (int it = 0; it < iters; it++) {
+    if (it % 2 == 0) {
+      jacobi<<<grid, blk>>>(d0, d1, n);
+    } else {
+      jacobi<<<grid, blk>>>(d1, d0, n);
+    }
+  }
+  if (iters % 2 == 0) {
+    cudaMemcpy(h, d0, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+  } else {
+    cudaMemcpy(h, d1, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+  }
+  return h;
+}
+|}
+
+let reference args =
+  match args with
+  | [ nt; iters ] ->
+      let n = nt * 16 in
+      let cur = ref (Bench_def.rand_array 221 (n * n)) in
+      let next = ref (Array.copy !cur) in
+      for _ = 1 to iters do
+        let s = !cur and d = !next in
+        for y = 1 to n - 2 do
+          for x = 1 to n - 2 do
+            d.((y * n) + x) <-
+              0.25
+              *. (s.((y * n) + x - 1) +. s.((y * n) + x + 1) +. s.(((y - 1) * n) + x)
+                 +. s.(((y + 1) * n) + x))
+          done
+        done;
+        let t = !cur in
+        cur := !next;
+        next := t
+      done;
+      !cur
+  | _ -> invalid_arg "jacobi expects [nt; iters]"
+
+let bench : Bench_def.t =
+  {
+    name = "jacobi";
+    description = "bandwidth-bound 5-point Jacobi relaxation, no shared memory";
+    source;
+    args = [ 12; 6 ];
+    test_args = [ 3; 3 ];
+    perf_args = [ 64; 10 ];
+    data_dependent_host = false;
+    reference;
+    tolerance = 1e-5;
+    fp64 = false;
+  }

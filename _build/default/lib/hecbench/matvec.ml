@@ -1,0 +1,64 @@
+(** Dense matrix-vector product (HeCBench-style): one thread per row,
+    a long per-thread reduction over a row of coalesced-unfriendly
+    (row-major) loads; the vector is heavily reused through the
+    caches. *)
+
+module Bench_def = Pgpu_rodinia.Bench_def
+
+let source =
+  {|
+__global__ void matvec(float* a, float* x, float* y, int rows, int cols) {
+  int r = blockIdx.x * blockDim.x + threadIdx.x;
+  if (r < rows) {
+    float acc = 0.0f;
+    for (int c = 0; c < cols; c++) {
+      acc += a[r * cols + c] * x[c];
+    }
+    y[r] = acc;
+  }
+}
+
+float* main(int rows, int cols) {
+  float* ha = (float*)malloc(rows * cols * sizeof(float));
+  float* hx = (float*)malloc(cols * sizeof(float));
+  float* hy = (float*)malloc(rows * sizeof(float));
+  fill_rand(ha, 231);
+  fill_rand(hx, 232);
+  float* da; float* dx; float* dy;
+  cudaMalloc((void**)&da, rows * cols * sizeof(float));
+  cudaMalloc((void**)&dx, cols * sizeof(float));
+  cudaMalloc((void**)&dy, rows * sizeof(float));
+  cudaMemcpy(da, ha, rows * cols * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dx, hx, cols * sizeof(float), cudaMemcpyHostToDevice);
+  matvec<<<(rows + 127) / 128, 128>>>(da, dx, dy, rows, cols);
+  cudaMemcpy(hy, dy, rows * sizeof(float), cudaMemcpyDeviceToHost);
+  return hy;
+}
+|}
+
+let reference args =
+  match args with
+  | [ rows; cols ] ->
+      let a = Bench_def.rand_array 231 (rows * cols) in
+      let x = Bench_def.rand_array 232 cols in
+      Array.init rows (fun r ->
+          let acc = ref 0. in
+          for c = 0 to cols - 1 do
+            acc := !acc +. (a.((r * cols) + c) *. x.(c))
+          done;
+          !acc)
+  | _ -> invalid_arg "matvec expects [rows; cols]"
+
+let bench : Bench_def.t =
+  {
+    name = "matvec";
+    description = "row-per-thread matrix-vector product (strided loads)";
+    source;
+    args = [ 2048; 256 ];
+    test_args = [ 300; 64 ];
+    perf_args = [ 8192; 512 ];
+    data_dependent_host = false;
+    reference;
+    tolerance = 1e-4;
+    fp64 = false;
+  }

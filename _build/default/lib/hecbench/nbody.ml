@@ -1,0 +1,92 @@
+(** All-pairs N-body forces (HeCBench-style): the classic tiled
+    compute-bound kernel — bodies are staged tile by tile through
+    shared memory with a barrier per tile, and the inner loop is a
+    dense FMA+rsqrt chain. *)
+
+module Bench_def = Pgpu_rodinia.Bench_def
+
+let source =
+  {|
+#define TS 128
+
+__global__ void nbody(float* px, float* py, float* pz, float* ax, int n) {
+  __shared__ float sx[128];
+  __shared__ float sy[128];
+  __shared__ float sz[128];
+  int i = blockIdx.x * TS + threadIdx.x;
+  int t = threadIdx.x;
+  float xi = px[i];
+  float yi = py[i];
+  float zi = pz[i];
+  float acc = 0.0f;
+  for (int tile = 0; tile < n / TS; tile++) {
+    sx[t] = px[tile * TS + t];
+    sy[t] = py[tile * TS + t];
+    sz[t] = pz[tile * TS + t];
+    __syncthreads();
+    for (int j = 0; j < TS; j++) {
+      float dx = sx[j] - xi;
+      float dy = sy[j] - yi;
+      float dz = sz[j] - zi;
+      float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+      float inv = rsqrtf(r2);
+      float inv3 = inv * inv * inv;
+      acc += dx * inv3;
+    }
+    __syncthreads();
+  }
+  ax[i] = acc;
+}
+
+float* main(int ntiles) {
+  int n = ntiles * TS;
+  float* hx = (float*)malloc(n * sizeof(float));
+  float* hy = (float*)malloc(n * sizeof(float));
+  float* hz = (float*)malloc(n * sizeof(float));
+  float* ha = (float*)malloc(n * sizeof(float));
+  fill_rand(hx, 251);
+  fill_rand(hy, 252);
+  fill_rand(hz, 253);
+  float* dx; float* dy; float* dz; float* da;
+  cudaMalloc((void**)&dx, n * sizeof(float));
+  cudaMalloc((void**)&dy, n * sizeof(float));
+  cudaMalloc((void**)&dz, n * sizeof(float));
+  cudaMalloc((void**)&da, n * sizeof(float));
+  cudaMemcpy(dx, hx, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dy, hy, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dz, hz, n * sizeof(float), cudaMemcpyHostToDevice);
+  nbody<<<ntiles, TS>>>(dx, dy, dz, da, n);
+  cudaMemcpy(ha, da, n * sizeof(float), cudaMemcpyDeviceToHost);
+  return ha;
+}
+|}
+
+let reference args =
+  let ntiles = List.hd args in
+  let n = ntiles * 128 in
+  let x = Bench_def.rand_array 251 n in
+  let y = Bench_def.rand_array 252 n in
+  let z = Bench_def.rand_array 253 n in
+  Array.init n (fun i ->
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        let dx = x.(j) -. x.(i) and dy = y.(j) -. y.(i) and dz = z.(j) -. z.(i) in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 0.01 in
+        let inv = 1. /. sqrt r2 in
+        acc := !acc +. (dx *. (inv *. inv *. inv))
+      done;
+      !acc)
+
+let bench : Bench_def.t =
+  {
+    name = "nbody";
+    description = "tiled all-pairs N-body forces (compute bound)";
+    source;
+    args = [ 8 ];
+    test_args = [ 3 ];
+    perf_args = [ 32 ];
+    data_dependent_host = false;
+    reference;
+    tolerance = 2e-4;
+    fp64 = false;
+  }

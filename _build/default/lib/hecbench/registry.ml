@@ -1,0 +1,26 @@
+(** HeCBench subset: the paper's first experiment also draws kernels
+    from HeCBench (Section VII-A); this module provides a
+    representative slice covering the main performance regimes —
+    shared-tile transforms, SFU-bound math, bandwidth-bound stencils,
+    strided reductions, barrier-dense sorting. *)
+
+module Bench_def = Pgpu_rodinia.Bench_def
+
+let all : Bench_def.t list =
+  [
+    Bitonic.bench;
+    Blackscholes.bench;
+    Conv1d.bench;
+    Jacobi.bench;
+    Matvec.bench;
+    Nbody.bench;
+    Softmax.bench;
+    Transpose.bench;
+  ]
+
+let find name =
+  match List.find_opt (fun (b : Bench_def.t) -> String.equal b.Bench_def.name name) all with
+  | Some b -> b
+  | None -> Pgpu_support.Util.failf "unknown HeCBench benchmark %S" name
+
+let names () = List.map (fun (b : Bench_def.t) -> b.Bench_def.name) all

@@ -1,0 +1,95 @@
+(** Row-wise softmax (HeCBench-style): one block per row of 256
+    entries, with shared-memory tree reductions for both the max and
+    the sum — two barrier-separated phases per row. *)
+
+module Bench_def = Pgpu_rodinia.Bench_def
+
+let source =
+  {|
+__global__ void softmax(float* in, float* out, int cols) {
+  __shared__ float sm[256];
+  int t = threadIdx.x;
+  int row = blockIdx.x;
+  int i = row * cols + t;
+  sm[t] = in[i];
+  __syncthreads();
+  for (int k = 0; k < 8; k++) {
+    int s = 128 >> k;
+    if (t < s) {
+      sm[t] = fmaxf(sm[t], sm[t + s]);
+    }
+    __syncthreads();
+  }
+  float mx = sm[0];
+  __syncthreads();
+  float e = expf(in[i] - mx);
+  sm[t] = e;
+  __syncthreads();
+  for (int k = 0; k < 8; k++) {
+    int s = 128 >> k;
+    if (t < s) {
+      sm[t] += sm[t + s];
+    }
+    __syncthreads();
+  }
+  out[i] = e / sm[0];
+}
+
+float* main(int rows) {
+  int cols = 256;
+  int n = rows * cols;
+  float* hin = (float*)malloc(n * sizeof(float));
+  float* hout = (float*)malloc(n * sizeof(float));
+  fill_rand_range(hin, 241, -4.0f, 4.0f);
+  float* din; float* dout;
+  cudaMalloc((void**)&din, n * sizeof(float));
+  cudaMalloc((void**)&dout, n * sizeof(float));
+  cudaMemcpy(din, hin, n * sizeof(float), cudaMemcpyHostToDevice);
+  softmax<<<rows, cols>>>(din, dout, cols);
+  cudaMemcpy(hout, dout, n * sizeof(float), cudaMemcpyDeviceToHost);
+  return hout;
+}
+|}
+
+let reference args =
+  let rows = List.hd args in
+  let cols = 256 in
+  let input = Bench_def.rand_range 241 (-4.) 4. (rows * cols) in
+  let out = Array.make (rows * cols) 0. in
+  for r = 0 to rows - 1 do
+    (* tree max, mirroring the kernel's reduction order *)
+    let sm = Array.init cols (fun t -> input.((r * cols) + t)) in
+    for k = 0 to 7 do
+      let s = 128 lsr k in
+      for t = 0 to s - 1 do
+        sm.(t) <- Float.max sm.(t) sm.(t + s)
+      done
+    done;
+    let mx = sm.(0) in
+    let es = Array.init cols (fun t -> exp (input.((r * cols) + t) -. mx)) in
+    let sm2 = Array.copy es in
+    for k = 0 to 7 do
+      let s = 128 lsr k in
+      for t = 0 to s - 1 do
+        sm2.(t) <- sm2.(t) +. sm2.(t + s)
+      done
+    done;
+    for t = 0 to cols - 1 do
+      out.((r * cols) + t) <- es.(t) /. sm2.(0)
+    done
+  done;
+  out
+
+let bench : Bench_def.t =
+  {
+    name = "softmax";
+    description = "row softmax with two shared-memory tree reductions";
+    source;
+    args = [ 512 ];
+    test_args = [ 24 ];
+    perf_args = [ 4096 ];
+    data_dependent_host = false;
+    reference;
+    tolerance = 1e-5;
+    fp64 = false;
+  }

@@ -1,0 +1,63 @@
+(** Tiled matrix transpose (HeCBench-style): the canonical
+    shared-memory access-pattern benchmark. The tile is padded by one
+    column so that the column-major reads after the barrier do not
+    conflict on shared-memory banks; coalescing of both the loads and
+    the stores depends on the tiling. *)
+
+module Bench_def = Pgpu_rodinia.Bench_def
+
+let source =
+  {|
+#define TS 16
+
+__global__ void transpose(float* in, float* out, int n) {
+  __shared__ float tile[16][17];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int x = blockIdx.x * TS + tx;
+  int y = blockIdx.y * TS + ty;
+  tile[ty][tx] = in[y * n + x];
+  __syncthreads();
+  int ox = blockIdx.y * TS + tx;
+  int oy = blockIdx.x * TS + ty;
+  out[oy * n + ox] = tile[tx][ty];
+}
+
+float* main(int nt) {
+  int n = nt * TS;
+  float* hin = (float*)malloc(n * n * sizeof(float));
+  float* hout = (float*)malloc(n * n * sizeof(float));
+  fill_rand(hin, 201);
+  float* din; float* dout;
+  cudaMalloc((void**)&din, n * n * sizeof(float));
+  cudaMalloc((void**)&dout, n * n * sizeof(float));
+  cudaMemcpy(din, hin, n * n * sizeof(float), cudaMemcpyHostToDevice);
+  dim3 grid(nt, nt);
+  dim3 blk(TS, TS);
+  transpose<<<grid, blk>>>(din, dout, n);
+  cudaMemcpy(hout, dout, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+  return hout;
+}
+|}
+
+let reference args =
+  let nt = List.hd args in
+  let n = nt * 16 in
+  let a = Bench_def.rand_array 201 (n * n) in
+  Array.init (n * n) (fun i ->
+      let r = i / n and c = i mod n in
+      a.((c * n) + r))
+
+let bench : Bench_def.t =
+  {
+    name = "transpose";
+    description = "tiled matrix transpose with padded shared tiles";
+    source;
+    args = [ 16 ];
+    test_args = [ 4 ];
+    perf_args = [ 96 ];
+    data_dependent_host = false;
+    reference;
+    tolerance = 0.;
+    fp64 = false;
+  }

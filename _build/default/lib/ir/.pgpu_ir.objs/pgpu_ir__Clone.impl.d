@@ -1,0 +1,1 @@
+lib/ir/clone.ml: Hashtbl Instr List Value

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Fmt Hashtbl Int Map Set Types

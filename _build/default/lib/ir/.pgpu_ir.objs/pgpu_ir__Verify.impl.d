@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Fmt Instr List Ops String Types Value

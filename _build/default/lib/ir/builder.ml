@@ -1,0 +1,115 @@
+(** Imperative block builder.
+
+    Transformation passes and the frontend both synthesize IR; this
+    builder keeps the construction code readable: instructions are
+    appended to a growing block and [Let]-style helpers return the
+    defined SSA value. *)
+
+open Instr
+
+type t = { mutable rev : instr list }
+
+let create () = { rev = [] }
+let add b i = b.rev <- i :: b.rev
+
+(** The finished block, in program order. *)
+let finish b = List.rev b.rev
+
+let let_ b ?hint ty expr =
+  let v = Value.fresh ?hint ty in
+  add b (Let (v, expr));
+  v
+
+let const_i b ?(ty = Types.I32) n = let_ b ~hint:"c" ty (Const (Ci n))
+let const_f b ?(ty = Types.F32) f = let_ b ~hint:"c" ty (Const (Cf f))
+
+let binop b op x (y : Value.t) = let_ b y.Value.ty (Binop (op, x, y))
+let add_ b x y = binop b Ops.Add x y
+let sub_ b x y = binop b Ops.Sub x y
+let mul_ b x y = binop b Ops.Mul x y
+let div_ b x y = binop b Ops.Div x y
+let rem_ b x y = binop b Ops.Rem x y
+let min_ b x y = binop b Ops.Min x y
+let max_ b x y = binop b Ops.Max x y
+
+let cmp b op x y = let_ b Types.I1 (Cmp (op, x, y))
+let select b c x (y : Value.t) = let_ b y.Value.ty (Select (c, x, y))
+let cast b ty x = let_ b ty (Cast x)
+
+let load b ?hint mem idx =
+  let ty = Types.elem mem.Value.ty in
+  let_ b ?hint ty (Load { mem; idx })
+
+let store b mem idx v = add b (Store { mem; idx; v })
+
+let alloc_shared b ?(hint = "smem") elt size =
+  let res = Value.fresh ~hint (Types.Memref (Types.Shared, elt)) in
+  add b (Alloc_shared { res; elt; size });
+  res
+
+let alloc b ?(hint = "buf") space elt count =
+  let res = Value.fresh ~hint (Types.Memref (space, elt)) in
+  add b (Alloc { res; space; elt; count });
+  res
+
+let barrier b scope = add b (Barrier { scope })
+
+(** [for_ b lb ub step inits f] builds a serial loop; [f] receives a
+    nested builder, the induction variable, and the iteration
+    arguments, and must return the values to yield. Returns the loop
+    results. *)
+let for_ b ?(hint = "i") lb ub step inits f =
+  let iv = Value.fresh ~hint Types.I32 in
+  let iter_args = List.map Value.rebirth inits in
+  let inner = create () in
+  let yields = f inner iv iter_args in
+  add inner (Yield yields);
+  let results = List.map Value.rebirth inits in
+  add b (For { iv; lb; ub; step; iter_args; inits; results; body = finish inner });
+  results
+
+(** [if_ b cond result_tys fthen felse] builds a structured
+    conditional yielding values of [result_tys]. *)
+let if_ b cond result_tys fthen felse =
+  let mk f =
+    let inner = create () in
+    let yields = f inner in
+    add inner (Yield yields);
+    finish inner
+  in
+  let then_ = mk fthen and else_ = mk felse in
+  let results = List.map Value.fresh result_tys in
+  add b (If { cond; results; then_; else_ });
+  results
+
+let if0 b cond fthen =
+  ignore (if_ b cond [] (fun inner -> fthen inner; []) (fun _ -> []))
+
+(** Build a (possibly multi-dimensional) parallel loop; [f] receives
+    the nested builder and the induction variables. Returns the pid. *)
+let parallel b level ubs f =
+  let pid = fresh_region_id () in
+  let ivs = List.map (fun _ -> Value.fresh ~hint:(match level with Blocks -> "b" | Threads -> "t") Types.I32) ubs in
+  let inner = create () in
+  f inner pid ivs;
+  add b (Parallel { pid; level; ivs; ubs; body = finish inner });
+  pid
+
+let gpu_wrapper b name f =
+  let wid = fresh_region_id () in
+  let inner = create () in
+  f inner;
+  add b (Gpu_wrapper { wid; name; body = finish inner })
+
+let intrinsic b name result_tys args =
+  let results = List.map Value.fresh result_tys in
+  add b (Intrinsic { results; name; args });
+  results
+
+let return b vs = add b (Return vs)
+
+(** Build a whole function. *)
+let func fname params ret f =
+  let b = create () in
+  f b;
+  { fname; params; ret; body = finish b }

@@ -1,0 +1,102 @@
+(** Region cloning with consistent renaming.
+
+    Cloning is the workhorse of unrolling and multi-versioning: every
+    value *defined* inside the cloned region gets a fresh id; uses of
+    values defined outside are either kept or remapped through the
+    substitution provided by the caller. Parallel-loop ids are also
+    refreshed so that barrier scopes remain consistent when two copies
+    of a region coexist (e.g. in [Alternatives]). *)
+
+open Instr
+
+type subst = { vals : Value.t Value.Tbl.t; pids : (int, int) Hashtbl.t }
+
+let create_subst () = { vals = Value.Tbl.create 64; pids = Hashtbl.create 8 }
+
+(** Pre-seed the substitution: uses of [v] will be rewritten to [v']. *)
+let bind subst v v' = Value.Tbl.replace subst.vals v v'
+
+(** Pre-seed a parallel-loop id remap: barriers scoped to [pid] will be
+    re-scoped to [pid']. *)
+let bind_pid subst pid pid' = Hashtbl.replace subst.pids pid pid'
+
+let lookup subst v = match Value.Tbl.find_opt subst.vals v with Some v' -> v' | None -> v
+
+let freshen subst v =
+  let v' = Value.rebirth v in
+  bind subst v v';
+  v'
+
+let fresh_pid subst pid =
+  let pid' = fresh_region_id () in
+  Hashtbl.replace subst.pids pid pid';
+  pid'
+
+let lookup_pid subst pid = match Hashtbl.find_opt subst.pids pid with Some p -> p | None -> pid
+
+let clone_expr subst = function
+  | Const c -> Const c
+  | Binop (op, a, b) -> Binop (op, lookup subst a, lookup subst b)
+  | Unop (op, a) -> Unop (op, lookup subst a)
+  | Cmp (op, a, b) -> Cmp (op, lookup subst a, lookup subst b)
+  | Select (c, a, b) -> Select (lookup subst c, lookup subst a, lookup subst b)
+  | Cast a -> Cast (lookup subst a)
+  | Load { mem; idx } -> Load { mem = lookup subst mem; idx = lookup subst idx }
+
+let rec clone_instr subst i =
+  let v = lookup subst in
+  match i with
+  | Let (r, e) ->
+      let e = clone_expr subst e in
+      Let (freshen subst r, e)
+  | Store { mem; idx; v = x } -> Store { mem = v mem; idx = v idx; v = v x }
+  | If { cond; results; then_; else_ } ->
+      let cond = v cond in
+      let then_ = clone_block subst then_ in
+      let else_ = clone_block subst else_ in
+      If { cond; results = List.map (freshen subst) results; then_; else_ }
+  | For { iv; lb; ub; step; iter_args; inits; results; body } ->
+      let lb = v lb and ub = v ub and step = v step and inits = List.map v inits in
+      let iv = freshen subst iv in
+      let iter_args = List.map (freshen subst) iter_args in
+      let body = clone_block subst body in
+      For { iv; lb; ub; step; iter_args; inits; results = List.map (freshen subst) results; body }
+  | While { iter_args; inits; results; body } ->
+      let inits = List.map v inits in
+      let iter_args = List.map (freshen subst) iter_args in
+      let body = clone_block subst body in
+      While { iter_args; inits; results = List.map (freshen subst) results; body }
+  | Parallel { pid; level; ivs; ubs; body } ->
+      let ubs = List.map v ubs in
+      let pid = fresh_pid subst pid in
+      let ivs = List.map (freshen subst) ivs in
+      let body = clone_block subst body in
+      Parallel { pid; level; ivs; ubs; body }
+  | Barrier { scope } -> Barrier { scope = lookup_pid subst scope }
+  | Alloc_shared { res; elt; size } -> Alloc_shared { res = freshen subst res; elt; size }
+  | Alloc { res; space; elt; count } ->
+      let count = v count in
+      Alloc { res = freshen subst res; space; elt; count }
+  | Free x -> Free (v x)
+  | Memcpy { dst; src; count } -> Memcpy { dst = v dst; src = v src; count = v count }
+  | Gpu_wrapper { wid = _; name; body } ->
+      let body = clone_block subst body in
+      Gpu_wrapper { wid = fresh_region_id (); name; body }
+  | Alternatives { aid = _; descs; regions } ->
+      let regions = List.map (clone_block subst) regions in
+      Alternatives { aid = fresh_region_id (); descs; regions }
+  | Intrinsic { results; name; args } ->
+      let args = List.map v args in
+      Intrinsic { results = List.map (freshen subst) results; name; args }
+  | Yield vs -> Yield (List.map v vs)
+  | Yield_while (c, vs) -> Yield_while (v c, List.map v vs)
+  | Return vs -> Return (List.map v vs)
+
+and clone_block subst block = List.map (clone_instr subst) block
+
+(** Clone a block with fresh defs; [rename] pre-seeds use rewriting
+    (e.g. mapping an induction variable to a replacement value). *)
+let block ?(rename = []) b =
+  let subst = create_subst () in
+  List.iter (fun (v, v') -> bind subst v v') rename;
+  clone_block subst b

@@ -1,0 +1,31 @@
+(** Region cloning with consistent renaming — the workhorse of
+    unrolling and multi-versioning. Every value *defined* inside the
+    cloned region gets a fresh id; uses of outer values are kept or
+    remapped through the caller's substitution. Parallel-loop ids are
+    refreshed so barrier scopes stay consistent when two copies of a
+    region coexist. *)
+
+open Instr
+
+type subst
+
+val create_subst : unit -> subst
+
+(** Pre-seed the substitution: uses of [v] rewrite to [v']. *)
+val bind : subst -> Value.t -> Value.t -> unit
+
+(** Pre-seed a parallel-loop id remap for barrier scopes. *)
+val bind_pid : subst -> int -> int -> unit
+
+(** Resolve a use through the substitution (identity if unmapped). *)
+val lookup : subst -> Value.t -> Value.t
+
+(** Resolve a barrier scope through the pid remap. *)
+val lookup_pid : subst -> int -> int
+
+val clone_expr : subst -> expr -> expr
+val clone_instr : subst -> instr -> instr
+val clone_block : subst -> block -> block
+
+(** Clone a block with fresh defs; [rename] pre-seeds use rewriting. *)
+val block : ?rename:(Value.t * Value.t) list -> block -> block

@@ -1,0 +1,278 @@
+(** The Polygeist-GPU IR.
+
+    A structured, region-based SSA IR modelled on the MLIR dialects the
+    paper uses ([arith], [memref], [scf], [gpu], [polygeist]):
+
+    - straight-line code is a list of [Let]-bound pure expressions,
+      loads and stores;
+    - structured control flow ([If], [For], [While]) carries regions
+      and yields SSA results, exactly like [scf];
+    - GPU blocks and threads are explicit multi-dimensional [Parallel]
+      loops (the paper's central representation choice), and
+      [Barrier] records the id of the parallel loop it synchronizes —
+      the [polygeist.barrier] design;
+    - device code is inlined in host code inside a [Gpu_wrapper]
+      region op, enabling host/device co-optimization;
+    - [Alternatives] is the multi-versioning op of Section VI. *)
+
+type const = Ci of int | Cf of float
+
+(** Pure or memory-reading right-hand sides of [Let]. *)
+type expr =
+  | Const of const
+  | Binop of Ops.binop * Value.t * Value.t
+  | Unop of Ops.unop * Value.t
+  | Cmp of Ops.cmpop * Value.t * Value.t
+  | Select of Value.t * Value.t * Value.t
+  | Cast of Value.t  (** conversion; the target type is that of the bound value *)
+  | Load of { mem : Value.t; idx : Value.t }
+
+(** Whether a parallel loop nest stands for the grid (blocks) or for
+    the threads of one block. *)
+type par_level = Blocks | Threads
+
+type instr =
+  | Let of Value.t * expr
+  | Store of { mem : Value.t; idx : Value.t; v : Value.t }
+  | If of { cond : Value.t; results : Value.t list; then_ : block; else_ : block }
+  | For of {
+      iv : Value.t;
+      lb : Value.t;
+      ub : Value.t;
+      step : Value.t;
+      iter_args : Value.t list;  (** region arguments carried across iterations *)
+      inits : Value.t list;
+      results : Value.t list;
+      body : block;
+    }
+  | While of {
+      iter_args : Value.t list;
+      inits : Value.t list;
+      results : Value.t list;
+      body : block;  (** do-while; terminated by [Yield_while (cond, next)] *)
+    }
+  | Parallel of {
+      pid : int;  (** unique id; referenced by [Barrier] scopes *)
+      level : par_level;
+      ivs : Value.t list;  (** induction variables, dims ordered x, y, z *)
+      ubs : Value.t list;  (** exclusive upper bounds; lb = 0, step = 1 *)
+      body : block;
+    }
+  | Barrier of { scope : int }  (** synchronizes the parallel loop with this [pid] *)
+  | Alloc_shared of { res : Value.t; elt : Types.t; size : int }
+      (** static per-block shared memory; duplicated by block coarsening *)
+  | Alloc of { res : Value.t; space : Types.space; elt : Types.t; count : Value.t }
+      (** host-side allocation of host or device (global) buffers *)
+  | Free of Value.t
+  | Memcpy of { dst : Value.t; src : Value.t; count : Value.t }
+      (** element-count copy; direction is implied by the memref spaces *)
+  | Gpu_wrapper of { wid : int; name : string; body : block }
+      (** a kernel launch: the region contains the grid-level [Parallel] *)
+  | Alternatives of { aid : int; descs : string list; regions : block list }
+      (** compile-time multi-versioning: each region computes the same result *)
+  | Intrinsic of { results : Value.t list; name : string; args : Value.t list }
+      (** host runtime helpers (timers, input generation, printing) *)
+  | Yield of Value.t list  (** terminator of [If]/[For] regions *)
+  | Yield_while of Value.t * Value.t list  (** terminator of [While] regions *)
+  | Return of Value.t list  (** terminator of a function body *)
+
+and block = instr list
+
+type func = { fname : string; params : Value.t list; ret : Types.t list; body : block }
+type modul = { funcs : func list }
+
+let region_counter = ref 0
+
+let fresh_region_id () =
+  incr region_counter;
+  !region_counter
+
+let find_func m name =
+  match List.find_opt (fun f -> String.equal f.fname name) m.funcs with
+  | Some f -> f
+  | None -> Pgpu_support.Util.failf "Instr.find_func: no function named %s" name
+
+(** Values defined by an instruction (visible to subsequent
+    instructions of the same block). *)
+let defs = function
+  | Let (v, _) -> [ v ]
+  | If { results; _ } -> results
+  | For { results; _ } -> results
+  | While { results; _ } -> results
+  | Alloc_shared { res; _ } -> [ res ]
+  | Alloc { res; _ } -> [ res ]
+  | Intrinsic { results; _ } -> results
+  | Store _ | Parallel _ | Barrier _ | Free _ | Memcpy _ | Gpu_wrapper _ | Alternatives _ | Yield _
+  | Yield_while _ | Return _ ->
+      []
+
+(** Values read directly by an instruction, excluding values used
+    inside nested regions. *)
+let direct_uses = function
+  | Let (_, e) -> (
+      match e with
+      | Const _ -> []
+      | Binop (_, a, b) | Cmp (_, a, b) -> [ a; b ]
+      | Unop (_, a) | Cast a -> [ a ]
+      | Select (c, a, b) -> [ c; a; b ]
+      | Load { mem; idx } -> [ mem; idx ])
+  | Store { mem; idx; v } -> [ mem; idx; v ]
+  | If { cond; _ } -> [ cond ]
+  | For { lb; ub; step; inits; _ } -> lb :: ub :: step :: inits
+  | While { inits; _ } -> inits
+  | Parallel { ubs; _ } -> ubs
+  | Barrier _ -> []
+  | Alloc_shared _ -> []
+  | Alloc { count; _ } -> [ count ]
+  | Free v -> [ v ]
+  | Memcpy { dst; src; count } -> [ dst; src; count ]
+  | Gpu_wrapper _ | Alternatives _ -> []
+  | Intrinsic { args; _ } -> args
+  | Yield vs -> vs
+  | Yield_while (c, vs) -> c :: vs
+  | Return vs -> vs
+
+(** Nested regions of an instruction, with region arguments that are
+    defined at the top of each region. *)
+let regions = function
+  | If { then_; else_; _ } -> [ ([], then_); ([], else_) ]
+  | For { iv; iter_args; body; _ } -> [ (iv :: iter_args, body) ]
+  | While { iter_args; body; _ } -> [ (iter_args, body) ]
+  | Parallel { ivs; body; _ } -> [ (ivs, body) ]
+  | Gpu_wrapper { body; _ } -> [ ([], body) ]
+  | Alternatives { regions; _ } -> List.map (fun r -> ([], r)) regions
+  | Let _ | Store _ | Barrier _ | Alloc_shared _ | Alloc _ | Free _ | Memcpy _ | Intrinsic _
+  | Yield _ | Yield_while _ | Return _ ->
+      []
+
+(** Depth-first iteration over every instruction of a block, including
+    instructions in nested regions. *)
+let rec iter_deep f block =
+  List.iter
+    (fun i ->
+      f i;
+      List.iter (fun (_, r) -> iter_deep f r) (regions i))
+    block
+
+(** Free values of a block: values used but not defined within it
+    (including region arguments of nested regions). *)
+let free_values block =
+  let bound = Value.Tbl.create 64 in
+  let free = Value.Tbl.create 64 in
+  let rec go block =
+    List.iter
+      (fun i ->
+        List.iter
+          (fun v -> if not (Value.Tbl.mem bound v) then Value.Tbl.replace free v ())
+          (direct_uses i);
+        List.iter
+          (fun (args, r) ->
+            List.iter (fun a -> Value.Tbl.replace bound a ()) args;
+            go r;
+            List.iter (fun a -> Value.Tbl.remove bound a) args)
+          (regions i);
+        List.iter (fun v -> Value.Tbl.replace bound v ()) (defs i))
+      block
+  in
+  go block;
+  Value.Tbl.fold (fun v () acc -> v :: acc) free []
+
+(** Does the block (deeply) contain a barrier with the given scope, or
+    any barrier at all when [scope] is [None]? *)
+let contains_barrier ?scope block =
+  let found = ref false in
+  iter_deep
+    (fun i ->
+      match i with
+      | Barrier { scope = s } -> (
+          match scope with None -> found := true | Some sc -> if s = sc then found := true)
+      | _ -> ())
+    block;
+  !found
+
+(** Conservative purity: an instruction is pure if re-executing it or
+    reordering it with memory operations cannot change behaviour. *)
+let is_pure = function
+  | Let (_, Load _) -> false
+  | Let (_, (Const _ | Binop _ | Unop _ | Cmp _ | Select _ | Cast _)) -> true
+  | Store _ | Barrier _ | Alloc_shared _ | Alloc _ | Free _ | Memcpy _ | Intrinsic _ -> false
+  | If _ | For _ | While _ | Parallel _ | Gpu_wrapper _ | Alternatives _ -> false
+  | Yield _ | Yield_while _ | Return _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_const ppf = function
+  | Ci n -> Fmt.int ppf n
+  | Cf f -> Fmt.pf ppf "%h" f
+
+let pp_values = Fmt.(list ~sep:comma Value.pp)
+
+let pp_expr ppf = function
+  | Const c -> Fmt.pf ppf "const %a" pp_const c
+  | Binop (op, a, b) -> Fmt.pf ppf "%a %a, %a" Ops.pp_binop op Value.pp a Value.pp b
+  | Unop (op, a) -> Fmt.pf ppf "%a %a" Ops.pp_unop op Value.pp a
+  | Cmp (op, a, b) -> Fmt.pf ppf "cmp %a %a, %a" Ops.pp_cmpop op Value.pp a Value.pp b
+  | Select (c, a, b) -> Fmt.pf ppf "select %a, %a, %a" Value.pp c Value.pp a Value.pp b
+  | Cast a -> Fmt.pf ppf "cast %a" Value.pp a
+  | Load { mem; idx } -> Fmt.pf ppf "load %a[%a]" Value.pp mem Value.pp idx
+
+let rec pp_instr ~indent ppf i =
+  let pad ppf = Fmt.pf ppf "%s" (String.make indent ' ') in
+  let pp_block = pp_block ~indent:(indent + 2) in
+  match i with
+  | Let (v, e) -> Fmt.pf ppf "%t%a = %a : %a" pad Value.pp v pp_expr e Types.pp v.Value.ty
+  | Store { mem; idx; v } -> Fmt.pf ppf "%tstore %a, %a[%a]" pad Value.pp v Value.pp mem Value.pp idx
+  | If { cond; results; then_; else_ } ->
+      Fmt.pf ppf "%t%a = if %a {@\n%a@\n%t}" pad pp_values results Value.pp cond pp_block then_ pad;
+      if else_ <> [ Yield [] ] then Fmt.pf ppf " else {@\n%a@\n%t}" pp_block else_ pad
+  | For { iv; lb; ub; step; iter_args; inits; results; body } ->
+      Fmt.pf ppf "%t%a = for %a = %a to %a step %a iter(%a = %a) {@\n%a@\n%t}" pad pp_values results
+        Value.pp iv Value.pp lb Value.pp ub Value.pp step pp_values iter_args pp_values inits
+        pp_block body pad
+  | While { iter_args; inits; results; body } ->
+      Fmt.pf ppf "%t%a = while iter(%a = %a) {@\n%a@\n%t}" pad pp_values results pp_values iter_args
+        pp_values inits pp_block body pad
+  | Parallel { pid; level; ivs; ubs; body } ->
+      Fmt.pf ppf "%tparallel<%s #%d> (%a) = 0 to (%a) {@\n%a@\n%t}" pad
+        (match level with Blocks -> "blocks" | Threads -> "threads")
+        pid pp_values ivs pp_values ubs pp_block body pad
+  | Barrier { scope } -> Fmt.pf ppf "%tbarrier #%d" pad scope
+  | Alloc_shared { res; elt; size } ->
+      Fmt.pf ppf "%t%a = alloc_shared %a x %d" pad Value.pp res Types.pp elt size
+  | Alloc { res; space; elt; count } ->
+      Fmt.pf ppf "%t%a = alloc %a %a x %a" pad Value.pp res Types.pp_space space Types.pp elt
+        Value.pp count
+  | Free v -> Fmt.pf ppf "%tfree %a" pad Value.pp v
+  | Memcpy { dst; src; count } ->
+      Fmt.pf ppf "%tmemcpy %a <- %a x %a" pad Value.pp dst Value.pp src Value.pp count
+  | Gpu_wrapper { wid; name; body } ->
+      Fmt.pf ppf "%tgpu_wrapper<%s #%d> {@\n%a@\n%t}" pad name wid pp_block body pad
+  | Alternatives { aid; descs; regions } ->
+      Fmt.pf ppf "%talternatives #%d {" pad aid;
+      List.iteri
+        (fun i (d, r) ->
+          ignore i;
+          Fmt.pf ppf "@\n%tregion %S {@\n%a@\n%t}" pad d pp_block r pad)
+        (List.combine descs regions);
+      Fmt.pf ppf "@\n%t}" pad
+  | Intrinsic { results; name; args } ->
+      Fmt.pf ppf "%t%a = intrinsic %S(%a)" pad pp_values results name pp_values args
+  | Yield vs -> Fmt.pf ppf "%tyield %a" pad pp_values vs
+  | Yield_while (c, vs) -> Fmt.pf ppf "%tyield_while %a, %a" pad Value.pp c pp_values vs
+  | Return vs -> Fmt.pf ppf "%treturn %a" pad pp_values vs
+
+and pp_block ~indent ppf block =
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any "@\n") (pp_instr ~indent)) block
+
+let pp_func ppf f =
+  Fmt.pf ppf "func @%s(%a) -> (%a) {@\n%a@\n}" f.fname
+    Fmt.(list ~sep:comma Value.pp_typed)
+    f.params
+    Fmt.(list ~sep:comma Types.pp)
+    f.ret (pp_block ~indent:2) f.body
+
+let pp_modul ppf m = Fmt.pf ppf "%a" Fmt.(list ~sep:(any "@\n@\n") pp_func) m.funcs
+let func_to_string f = Fmt.str "%a" pp_func f
+let modul_to_string m = Fmt.str "%a" pp_modul m

@@ -1,0 +1,37 @@
+(** Scalar operators of the IR, shared between the interpreter, the
+    frontend and the virtual-ISA backend. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Min
+  | Max
+  | Pow  (** floating point only; lowered to the special-function unit *)
+
+type unop = Neg | Not | Sqrt | Exp | Log | Sin | Cos | Abs | Floor | Ceil | Rsqrt
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+val pp_binop : binop Fmt.t
+val pp_unop : unop Fmt.t
+val pp_cmpop : cmpop Fmt.t
+
+(** Integer semantics (C-like: division truncates towards zero;
+    division/remainder by zero yield 0 rather than trapping). *)
+val eval_int_binop : binop -> int -> int -> int
+
+val eval_float_binop : binop -> float -> float -> float
+val eval_int_unop : unop -> int -> int
+val eval_float_unop : unop -> float -> float
+val eval_int_cmp : cmpop -> int -> int -> bool
+val eval_float_cmp : cmpop -> float -> float -> bool
+
+(** Used by CSE/canonicalization to normalize operand order. *)
+val commutative : binop -> bool

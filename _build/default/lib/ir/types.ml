@@ -1,0 +1,60 @@
+(** Types of SSA values in the Polygeist-GPU IR.
+
+    The IR is deliberately small: scalar integers and floats of the
+    widths that matter for GPU throughput modelling, plus one-level
+    memrefs (linear buffers) tagged with their memory space. *)
+
+(** Memory spaces, mirroring the CUDA address spaces that the paper's
+    transformations care about. [Shared] allocations are per-block and
+    are duplicated by block coarsening; [Global] is device memory;
+    [Host] is CPU memory visible only to host code. *)
+type space = Global | Shared | Host
+
+type t =
+  | I1  (** booleans / predicates *)
+  | I32  (** C [int]; also the type of thread/block indices at source level *)
+  | I64  (** C [long]; address arithmetic *)
+  | F32  (** C [float] *)
+  | F64  (** C [double] *)
+  | Memref of space * t  (** linear buffer of scalars in a memory space *)
+
+let rec equal a b =
+  match (a, b) with
+  | I1, I1 | I32, I32 | I64, I64 | F32, F32 | F64, F64 -> true
+  | Memref (sa, ta), Memref (sb, tb) -> sa = sb && equal ta tb
+  | (I1 | I32 | I64 | F32 | F64 | Memref _), _ -> false
+
+let is_int = function I1 | I32 | I64 -> true | F32 | F64 | Memref _ -> false
+let is_float = function F32 | F64 -> true | I1 | I32 | I64 | Memref _ -> false
+let is_memref = function Memref _ -> true | I1 | I32 | I64 | F32 | F64 -> false
+
+let elem = function
+  | Memref (_, t) -> t
+  | I1 | I32 | I64 | F32 | F64 -> invalid_arg "Types.elem: not a memref"
+
+let space_of = function
+  | Memref (s, _) -> s
+  | I1 | I32 | I64 | F32 | F64 -> invalid_arg "Types.space_of: not a memref"
+
+(** Size of one scalar element in bytes, as laid out in simulated
+    device memory. *)
+let byte_size = function
+  | I1 -> 1
+  | I32 | F32 -> 4
+  | I64 | F64 -> 8
+  | Memref (_, _) -> 8 (* pointers are 64-bit *)
+
+let pp_space ppf = function
+  | Global -> Fmt.string ppf "global"
+  | Shared -> Fmt.string ppf "shared"
+  | Host -> Fmt.string ppf "host"
+
+let rec pp ppf = function
+  | I1 -> Fmt.string ppf "i1"
+  | I32 -> Fmt.string ppf "i32"
+  | I64 -> Fmt.string ppf "i64"
+  | F32 -> Fmt.string ppf "f32"
+  | F64 -> Fmt.string ppf "f64"
+  | Memref (s, t) -> Fmt.pf ppf "memref<%a,%a>" pp_space s pp t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,36 @@
+(** Types of SSA values in the Polygeist-GPU IR: scalar integers and
+    floats of the widths that matter for GPU throughput modelling, plus
+    one-level memrefs (linear buffers) tagged with their memory
+    space. *)
+
+(** Memory spaces mirroring the CUDA address spaces the paper's
+    transformations care about: [Shared] allocations are per-block and
+    duplicated by block coarsening; [Global] is device memory; [Host]
+    is CPU memory. *)
+type space = Global | Shared | Host
+
+type t =
+  | I1  (** booleans / predicates *)
+  | I32  (** C [int]; thread/block indices at source level *)
+  | I64  (** C [long]; address arithmetic *)
+  | F32
+  | F64
+  | Memref of space * t  (** linear buffer of scalars in a memory space *)
+
+val equal : t -> t -> bool
+val is_int : t -> bool
+val is_float : t -> bool
+val is_memref : t -> bool
+
+(** Element type of a memref. @raise Invalid_argument otherwise. *)
+val elem : t -> t
+
+(** Memory space of a memref. @raise Invalid_argument otherwise. *)
+val space_of : t -> space
+
+(** Size of one scalar element in bytes in simulated device memory. *)
+val byte_size : t -> int
+
+val pp_space : space Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,42 @@
+(** SSA values. Every value has a unique integer id, a type and a
+    human-readable hint used only for printing. *)
+
+type t = { id : int; ty : Types.t; hint : string }
+
+let counter = ref 0
+
+(** Create a fresh SSA value of type [ty]. The [hint] is a printing
+    aid (e.g. the source variable name). *)
+let fresh ?(hint = "v") ty =
+  incr counter;
+  { id = !counter; ty; hint }
+
+(** A fresh value with the same type and hint as [v]; used when
+    cloning regions. *)
+let rebirth v = fresh ~hint:v.hint v.ty
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash v = v.id
+
+let pp ppf v = Fmt.pf ppf "%%%s%d" v.hint v.id
+let pp_typed ppf v = Fmt.pf ppf "%a : %a" pp v Types.pp v.ty
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,21 @@
+(** SSA values: a unique id, a type, and a printing hint. *)
+
+type t = { id : int; ty : Types.t; hint : string }
+
+(** A fresh SSA value; [hint] is a printing aid (e.g. the source
+    variable name). *)
+val fresh : ?hint:string -> Types.t -> t
+
+(** A fresh value with the same type and hint as [v] (region
+    cloning). *)
+val rebirth : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+val pp_typed : t Fmt.t
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/retarget/hipify.ml: Buffer Fmt List String

@@ -1,0 +1,1 @@
+lib/retarget/hipify.mli: Fmt

@@ -1,0 +1,1 @@
+lib/retarget/retarget.ml: Fmt Instr List Pgpu_ir Pgpu_target Pgpu_transforms Types

@@ -1,0 +1,1 @@
+lib/retarget/retarget.mli: Fmt Instr Pgpu_ir Pgpu_target Pgpu_transforms

@@ -1,0 +1,16 @@
+(** The hipify source-to-source baseline (Section VII-D of the paper):
+    token-level CUDA→HIP API renaming plus a report of the situations
+    that require manual intervention (runtime-header includes,
+    CUDA-macro conditionals, external helper headers) — exactly the
+    friction points the paper contrasts with the IR-level route. *)
+
+type issue =
+  | Manual_include of string  (** a CUDA header include rewritten by hand *)
+  | Untranslatable_ifdef of string  (** conditional depending on CUDA macros *)
+  | External_header of string  (** dependency that must be hipified separately *)
+
+val pp_issue : issue Fmt.t
+
+(** Hipify a translation unit: the translated source plus the manual
+    interventions a user of the real tool would face. *)
+val hipify : string -> string * issue list

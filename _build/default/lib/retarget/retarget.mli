@@ -1,0 +1,30 @@
+(** IR-level retargeting of CUDA programs to AMD GPUs
+    (Section VII-D): the CUDA source compiles unchanged, and only the
+    target descriptor changes — re-running granularity selection,
+    pruning and register allocation against the new machine. *)
+
+open Pgpu_ir
+module Descriptor = Pgpu_target.Descriptor
+module Pipeline = Pgpu_transforms.Pipeline
+
+(** GPU-specific constructs the IR abstraction carried across vendors
+    (everything the source-to-source baseline would have rewritten). *)
+type report = {
+  launches : int;
+  barriers : int;
+  shared_allocs : int;
+  memcpys : int;
+  device_allocs : int;
+}
+
+val pp_report : report Fmt.t
+val survey : Instr.modul -> report
+
+(** Compile a CUDA-source module for a (typically AMD) target:
+    identical input, different specialization. *)
+val compile_for :
+  target:Descriptor.t ->
+  ?optimize:bool ->
+  ?specs:Pgpu_transforms.Coarsen.spec list ->
+  Instr.modul ->
+  Instr.modul * Pipeline.report * report

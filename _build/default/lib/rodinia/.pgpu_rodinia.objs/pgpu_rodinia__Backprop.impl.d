@@ -1,0 +1,1 @@
+lib/rodinia/backprop.ml: Array Bench_def List

@@ -1,0 +1,1 @@
+lib/rodinia/gaussian.ml: Array Bench_def List

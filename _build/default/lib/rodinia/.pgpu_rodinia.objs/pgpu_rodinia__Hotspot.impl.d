@@ -1,0 +1,1 @@
+lib/rodinia/hotspot.ml: Array Bench_def

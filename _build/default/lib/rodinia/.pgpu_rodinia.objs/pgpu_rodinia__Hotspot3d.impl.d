@@ -1,0 +1,1 @@
+lib/rodinia/hotspot3d.ml: Array Bench_def

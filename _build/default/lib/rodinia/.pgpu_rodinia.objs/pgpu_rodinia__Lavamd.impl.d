@@ -1,0 +1,1 @@
+lib/rodinia/lavamd.ml: Array Bench_def List

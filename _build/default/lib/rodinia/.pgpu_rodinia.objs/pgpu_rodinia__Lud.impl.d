@@ -1,0 +1,1 @@
+lib/rodinia/lud.ml: Array Bench_def List

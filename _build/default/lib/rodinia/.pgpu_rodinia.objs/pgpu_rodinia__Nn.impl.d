@@ -1,0 +1,1 @@
+lib/rodinia/nn.ml: Array Bench_def List

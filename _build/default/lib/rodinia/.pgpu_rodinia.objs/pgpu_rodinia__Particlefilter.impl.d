@@ -1,0 +1,1 @@
+lib/rodinia/particlefilter.ml: Array Bench_def List

@@ -1,0 +1,1 @@
+lib/rodinia/pathfinder.ml: Array Bench_def

@@ -1,0 +1,1 @@
+lib/rodinia/registry.ml: Backprop Bench_def Bfs Cfd Gaussian Hotspot Hotspot3d Lavamd List Lud Myocyte Nn Nw Particlefilter Pathfinder Pgpu_support Srad Streamcluster String

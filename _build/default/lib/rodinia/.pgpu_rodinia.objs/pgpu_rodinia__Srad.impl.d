@@ -1,0 +1,1 @@
+lib/rodinia/srad.ml: Array Bench_def

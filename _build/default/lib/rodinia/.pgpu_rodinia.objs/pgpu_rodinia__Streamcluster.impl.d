@@ -1,0 +1,1 @@
+lib/rodinia/streamcluster.ml: Array Bench_def List

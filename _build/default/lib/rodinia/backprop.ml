@@ -1,0 +1,123 @@
+(** Neural network training (Rodinia backprop): [layerforward]
+    computes input-to-hidden partial products in a 16x16 shared tile
+    and tree-reduces over the input dimension; the host applies the
+    sigmoid; [adjust_weights] applies the delta rule. Returns the
+    adjusted weight matrix. *)
+
+let source =
+  {|
+#define HID 16
+
+__global__ void layerforward(float* input, float* weights, float* partial, int n) {
+  __shared__ float node[16];
+  __shared__ float wm[16][16];
+  int by = blockIdx.x;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = by * 16 + ty;
+  if (tx == 0) {
+    node[ty] = input[row];
+  }
+  __syncthreads();
+  wm[ty][tx] = weights[row * HID + tx] * node[ty];
+  __syncthreads();
+  for (int k = 0; k < 4; k++) {
+    int s = 1 << k;
+    if (ty % (2 * s) == 0) {
+      wm[ty][tx] += wm[ty + s][tx];
+    }
+    __syncthreads();
+  }
+  if (ty == 0) {
+    partial[by * HID + tx] = wm[0][tx];
+  }
+}
+
+__global__ void adjust_weights(float* weights, float* input, float* delta, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n * HID) {
+    int row = i / HID;
+    int col = i % HID;
+    weights[i] += 0.3f * delta[col] * input[row] + 0.3f * 0.01f * weights[i];
+  }
+}
+
+float* main(int nchunks) {
+  int n = nchunks * 16;
+  float* hin = (float*)malloc(n * sizeof(float));
+  float* hw = (float*)malloc(n * HID * sizeof(float));
+  float* hpart = (float*)malloc(nchunks * HID * sizeof(float));
+  float* hdelta = (float*)malloc(HID * sizeof(float));
+  fill_rand(hin, 101);
+  fill_rand_range(hw, 102, -0.5f, 0.5f);
+  float* din; float* dw; float* dpart; float* ddelta;
+  cudaMalloc((void**)&din, n * sizeof(float));
+  cudaMalloc((void**)&dw, n * HID * sizeof(float));
+  cudaMalloc((void**)&dpart, nchunks * HID * sizeof(float));
+  cudaMalloc((void**)&ddelta, HID * sizeof(float));
+  cudaMemcpy(din, hin, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dw, hw, n * HID * sizeof(float), cudaMemcpyHostToDevice);
+  dim3 blk(16, 16);
+  layerforward<<<nchunks, blk>>>(din, dw, dpart, n);
+  cudaMemcpy(hpart, dpart, nchunks * HID * sizeof(float), cudaMemcpyDeviceToHost);
+  for (int h = 0; h < HID; h++) {
+    float sum = 0.0f;
+    for (int c = 0; c < nchunks; c++) {
+      sum += hpart[c * HID + h];
+    }
+    float act = 1.0f / (1.0f + expf(-sum));
+    hdelta[h] = act * (1.0f - act) * (0.5f - act);
+  }
+  cudaMemcpy(ddelta, hdelta, HID * sizeof(float), cudaMemcpyHostToDevice);
+  adjust_weights<<<(n * HID + 255) / 256, 256>>>(dw, din, ddelta, n);
+  cudaMemcpy(hw, dw, n * HID * sizeof(float), cudaMemcpyDeviceToHost);
+  return hw;
+}
+|}
+
+let reference args =
+  let nchunks = List.hd args in
+  let hid = 16 in
+  let n = nchunks * 16 in
+  let input = Bench_def.rand_array 101 n in
+  let w = Bench_def.rand_range 102 (-0.5) 0.5 (n * hid) in
+  (* partial sums with the kernel's tree-reduction order *)
+  let partial = Array.make (nchunks * hid) 0. in
+  for by = 0 to nchunks - 1 do
+    for tx = 0 to hid - 1 do
+      let wm = Array.init 16 (fun ty -> w.((((by * 16) + ty) * hid) + tx) *. input.((by * 16) + ty)) in
+      for k = 0 to 3 do
+        let s = 1 lsl k in
+        for ty = 0 to 15 do
+          if ty mod (2 * s) = 0 then wm.(ty) <- wm.(ty) +. wm.(ty + s)
+        done
+      done;
+      partial.((by * hid) + tx) <- wm.(0)
+    done
+  done;
+  let delta =
+    Array.init hid (fun h ->
+        let sum = ref 0. in
+        for c = 0 to nchunks - 1 do
+          sum := !sum +. partial.((c * hid) + h)
+        done;
+        let act = 1. /. (1. +. exp (-. !sum)) in
+        act *. (1. -. act) *. (0.5 -. act))
+  in
+  Array.init (n * hid) (fun i ->
+      let row = i / hid and col = i mod hid in
+      w.(i) +. (0.3 *. delta.(col) *. input.(row)) +. (0.3 *. 0.01 *. w.(i)))
+
+let bench : Bench_def.t =
+  {
+    name = "backprop";
+    description = "layer-forward shared-memory reduction + weight adjustment";
+    args = [ 256 ];
+    test_args = [ 12 ];
+    perf_args = [ 512 ];
+    data_dependent_host = false;
+    source;
+    reference;
+    tolerance = 1e-4;
+    fp64 = false;
+  }

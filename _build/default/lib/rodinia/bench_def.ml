@@ -1,0 +1,35 @@
+(** Definition of one benchmark of the (re-implemented) Rodinia suite.
+
+    Every benchmark carries its mini-CUDA source, problem-size
+    arguments, and a CPU reference implementation used to verify the
+    outputs of every compiler configuration — the paper's correctness
+    methodology ("we verify correctness of the transformation by
+    comparing the outputs of all Rodinia benchmarks"). References
+    mirror the kernels' arithmetic order so float outputs match within
+    a tight tolerance. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** mini-CUDA translation unit with a [main] entry *)
+  args : int list;  (** default problem size (functional runs) *)
+  test_args : int list;  (** reduced size for correctness tests *)
+  perf_args : int list;
+      (** evaluation-scale problem size used by the timing experiments;
+          these runs execute a sample of each grid unless
+          [data_dependent_host] forces full execution *)
+  data_dependent_host : bool;
+      (** host control flow (or device trip counts) depend on computed
+          data, so timing runs must execute every block *)
+  reference : int list -> float array;  (** expected contents of the returned buffer *)
+  tolerance : float;  (** relative comparison tolerance *)
+  fp64 : bool;  (** double-precision benchmark (Table I f64 columns matter) *)
+}
+
+(** Shared deterministic input generator (same stream as the runtime's
+    [fill_rand] intrinsic). *)
+let rand_array = Pgpu_runtime.Runtime.rand_array
+
+let rand_int_array = Pgpu_runtime.Runtime.rand_int_array
+
+let rand_range seed lo hi n = Array.map (fun r -> lo +. ((hi -. lo) *. r)) (rand_array seed n)

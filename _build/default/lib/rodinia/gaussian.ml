@@ -1,0 +1,113 @@
+(** Gaussian elimination (Rodinia gaussian).
+
+    The paper's Section VII-C example: the kernels have low arithmetic
+    intensity, significant divergence, and are launched with tiny
+    blocks (16 threads), failing to fill warps and to saturate the
+    machine — the case where block coarsening shines. [fan1] computes
+    the multiplier column, [fan2] updates the trailing matrix and the
+    right-hand side; back-substitution runs on the host. Output is the
+    solution vector. *)
+
+let source =
+  {|
+__global__ void fan1(float* a, float* m, int n, int t) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n - 1 - t) {
+    m[(t + 1 + i) * n + t] = a[(t + 1 + i) * n + t] / a[t * n + t];
+  }
+}
+
+__global__ void fan2(float* a, float* b, float* m, int n, int t) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x < n - 1 - t && y < n - t) {
+    a[(t + 1 + x) * n + t + y] -= m[(t + 1 + x) * n + t] * a[t * n + t + y];
+    if (y == 0) {
+      b[t + 1 + x] -= m[(t + 1 + x) * n + t] * b[t];
+    }
+  }
+}
+
+float* main(int n) {
+  float* ha = (float*)malloc(n * n * sizeof(float));
+  float* hb = (float*)malloc(n * sizeof(float));
+  float* hm = (float*)malloc(n * n * sizeof(float));
+  float* hx = (float*)malloc(n * sizeof(float));
+  fill_rand(ha, 31);
+  fill_rand(hb, 32);
+  for (int i = 0; i < n; i++) {
+    ha[i * n + i] += (float)n;
+  }
+  fill_const(hm, 0.0f);
+  float* da; float* db; float* dm;
+  cudaMalloc((void**)&da, n * n * sizeof(float));
+  cudaMalloc((void**)&db, n * sizeof(float));
+  cudaMalloc((void**)&dm, n * n * sizeof(float));
+  cudaMemcpy(da, ha, n * n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(db, hb, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dm, hm, n * n * sizeof(float), cudaMemcpyHostToDevice);
+  for (int t = 0; t < n - 1; t++) {
+    int rows = n - 1 - t;
+    fan1<<<(rows + 15) / 16, 16>>>(da, dm, n, t);
+    dim3 g2((rows + 3) / 4, (n - t + 3) / 4);
+    dim3 b2(4, 4);
+    fan2<<<g2, b2>>>(da, db, dm, n, t);
+  }
+  cudaMemcpy(ha, da, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+  cudaMemcpy(hb, db, n * sizeof(float), cudaMemcpyDeviceToHost);
+  for (int i = 0; i < n; i++) {
+    int r = n - 1 - i;
+    float acc = hb[r];
+    for (int j = r + 1; j < n; j++) {
+      acc -= ha[r * n + j] * hx[j];
+    }
+    hx[r] = acc / ha[r * n + r];
+  }
+  return hx;
+}
+|}
+
+let reference args =
+  let n = List.hd args in
+  let a = Bench_def.rand_array 31 (n * n) in
+  let b = Bench_def.rand_array 32 n in
+  for i = 0 to n - 1 do
+    a.((i * n) + i) <- a.((i * n) + i) +. float_of_int n
+  done;
+  let m = Array.make (n * n) 0. in
+  for t = 0 to n - 2 do
+    for i = 0 to n - 2 - t do
+      m.(((t + 1 + i) * n) + t) <- a.(((t + 1 + i) * n) + t) /. a.((t * n) + t)
+    done;
+    for x = 0 to n - 2 - t do
+      for y = 0 to n - 1 - t do
+        a.(((t + 1 + x) * n) + t + y) <-
+          a.(((t + 1 + x) * n) + t + y) -. (m.(((t + 1 + x) * n) + t) *. a.((t * n) + t + y))
+      done;
+      b.(t + 1 + x) <- b.(t + 1 + x) -. (m.(((t + 1 + x) * n) + t) *. b.(t))
+    done
+  done;
+  let x = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let r = n - 1 - i in
+    let acc = ref b.(r) in
+    for j = r + 1 to n - 1 do
+      acc := !acc -. (a.((r * n) + j) *. x.(j))
+    done;
+    x.(r) <- !acc /. a.((r * n) + r)
+  done;
+  x
+
+let bench : Bench_def.t =
+  {
+    name = "gaussian";
+    description = "Gaussian elimination with 16-thread blocks and host back-substitution";
+    source;
+    args = [ 128 ];
+    test_args = [ 48 ];
+    perf_args = [ 512 ];
+    data_dependent_host = false;
+    reference;
+    tolerance = 5e-3;
+    fp64 = false;
+  }

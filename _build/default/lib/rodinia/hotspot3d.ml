@@ -1,0 +1,108 @@
+(** 3-D thermal simulation (Rodinia hotspot3D), double precision — one
+    of the benchmarks whose AMD-vs-NVIDIA behaviour in Fig. 17 the
+    paper attributes to f64 throughput. Each thread walks a z-column
+    of the volume, reading the six neighbours with boundary clamping. *)
+
+let source =
+  {|
+#define BS 16
+
+__global__ void hotspot3d_step(double* tin, double* pwr, double* tout,
+                               int nx, int ny, int nz,
+                               double cc, double cx, double cy, double cz, double amb) {
+  int i = blockIdx.x * BS + threadIdx.x;
+  int j = blockIdx.y * BS + threadIdx.y;
+  for (int k = 0; k < nz; k++) {
+    int c = k * nx * ny + j * nx + i;
+    int w = i == 0 ? c : c - 1;
+    int e = i == nx - 1 ? c : c + 1;
+    int s = j == 0 ? c : c - nx;
+    int n = j == ny - 1 ? c : c + nx;
+    int b = k == 0 ? c : c - nx * ny;
+    int t = k == nz - 1 ? c : c + nx * ny;
+    tout[c] = tin[c] * cc + (tin[w] + tin[e]) * cx + (tin[s] + tin[n]) * cy
+              + (tin[b] + tin[t]) * cz + pwr[c] + amb;
+  }
+}
+
+float* main(int nt, int nz, int iters) {
+  int nx = nt * BS;
+  int ny = nt * BS;
+  double* ht = (double*)malloc(nx * ny * nz * sizeof(double));
+  double* hp = (double*)malloc(nx * ny * nz * sizeof(double));
+  fill_rand_range(ht, 61, 320.0f, 340.0f);
+  fill_rand_range(hp, 62, 0.0f, 0.1f);
+  double* d0; double* d1; double* dp;
+  cudaMalloc((void**)&d0, nx * ny * nz * sizeof(double));
+  cudaMalloc((void**)&d1, nx * ny * nz * sizeof(double));
+  cudaMalloc((void**)&dp, nx * ny * nz * sizeof(double));
+  cudaMemcpy(d0, ht, nx * ny * nz * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemcpy(dp, hp, nx * ny * nz * sizeof(double), cudaMemcpyHostToDevice);
+  dim3 grid(nt, nt);
+  dim3 blk(BS, BS);
+  for (int it = 0; it < iters; it++) {
+    if (it % 2 == 0) {
+      hotspot3d_step<<<grid, blk>>>(d0, dp, d1, nx, ny, nz,
+                                    0.4, 0.1, 0.1, 0.05, 0.02);
+    } else {
+      hotspot3d_step<<<grid, blk>>>(d1, dp, d0, nx, ny, nz,
+                                    0.4, 0.1, 0.1, 0.05, 0.02);
+    }
+  }
+  if (iters % 2 == 0) {
+    cudaMemcpy(ht, d0, nx * ny * nz * sizeof(double), cudaMemcpyDeviceToHost);
+  } else {
+    cudaMemcpy(ht, d1, nx * ny * nz * sizeof(double), cudaMemcpyDeviceToHost);
+  }
+  return ht;
+}
+|}
+
+let reference args =
+  match args with
+  | [ nt; nz; iters ] ->
+      let nx = nt * 16 and ny = nt * 16 in
+      let total = nx * ny * nz in
+      let t = ref (Bench_def.rand_range 61 320. 340. total) in
+      let p = Bench_def.rand_range 62 0. 0.1 total in
+      let cc = 0.4 and cx = 0.1 and cy = 0.1 and cz = 0.05 and amb = 0.02 in
+      for _ = 1 to iters do
+        let src = !t in
+        let dst = Array.make total 0. in
+        for k = 0 to nz - 1 do
+          for j = 0 to ny - 1 do
+            for i = 0 to nx - 1 do
+              let c = (k * nx * ny) + (j * nx) + i in
+              let w = if i = 0 then c else c - 1 in
+              let e = if i = nx - 1 then c else c + 1 in
+              let s = if j = 0 then c else c - nx in
+              let n = if j = ny - 1 then c else c + nx in
+              let b = if k = 0 then c else c - (nx * ny) in
+              let tt = if k = nz - 1 then c else c + (nx * ny) in
+              dst.(c) <-
+                (src.(c) *. cc)
+                +. ((src.(w) +. src.(e)) *. cx)
+                +. ((src.(s) +. src.(n)) *. cy)
+                +. ((src.(b) +. src.(tt)) *. cz)
+                +. p.(c) +. amb
+            done
+          done
+        done;
+        t := dst
+      done;
+      !t
+  | _ -> invalid_arg "hotspot3d expects [nt; nz; iters]"
+
+let bench : Bench_def.t =
+  {
+    name = "hotspot3D";
+    description = "3-D thermal stencil, double precision, z-column per thread";
+    args = [ 8; 8; 4 ];
+    test_args = [ 2; 4; 2 ];
+    perf_args = [ 16; 16; 8 ];
+    data_dependent_host = false;
+    source;
+    reference;
+    tolerance = 1e-9;
+    fp64 = true;
+  }

@@ -1,0 +1,209 @@
+(** LU decomposition (Rodinia lud) — the paper's flagship analysis
+    benchmark (Fig. 14, Fig. 15, Table II).
+
+    Blocked in-place LU without pivoting on 16x16 tiles: a host loop
+    alternates [lud_diagonal] (one block), [lud_perimeter] (row/column
+    panels, 32-thread blocks) and [lud_internal] (trailing submatrix,
+    2-D grid of 16x16 = 256-thread blocks, 2 KiB of shared memory —
+    the kernel whose coarsening behaviour Section VII-B studies). The
+    input matrix is made diagonally dominant so the factorization is
+    stable. *)
+
+let source =
+  {|
+#define BS 16
+
+__global__ void lud_diagonal(float* m, int n, int offset) {
+  __shared__ float dia[16][16];
+  int tx = threadIdx.x;
+  for (int i = 0; i < 16; i++) {
+    dia[i][tx] = m[(offset + i) * n + offset + tx];
+  }
+  __syncthreads();
+  for (int i = 0; i < 15; i++) {
+    if (tx > i) {
+      dia[tx][i] = dia[tx][i] / dia[i][i];
+    }
+    __syncthreads();
+    if (tx > i) {
+      for (int j = i + 1; j < 16; j++) {
+        dia[tx][j] = dia[tx][j] - dia[tx][i] * dia[i][j];
+      }
+    }
+    __syncthreads();
+  }
+  for (int i = 0; i < 16; i++) {
+    m[(offset + i) * n + offset + tx] = dia[i][tx];
+  }
+}
+
+__global__ void lud_perimeter(float* m, int n, int offset) {
+  __shared__ float dia[16][16];
+  __shared__ float peri_row[16][16];
+  __shared__ float peri_col[16][16];
+  int tx = threadIdx.x;
+  int gbase = offset + (blockIdx.x + 1) * BS;
+  if (tx < 16) {
+    for (int i = 0; i < 16; i++) {
+      dia[i][tx] = m[(offset + i) * n + offset + tx];
+      peri_row[i][tx] = m[(offset + i) * n + gbase + tx];
+    }
+  } else {
+    int tc = tx - 16;
+    for (int i = 0; i < 16; i++) {
+      peri_col[i][tc] = m[(gbase + i) * n + offset + tc];
+    }
+  }
+  __syncthreads();
+  if (tx < 16) {
+    for (int i = 1; i < 16; i++) {
+      for (int j = 0; j < i; j++) {
+        peri_row[i][tx] = peri_row[i][tx] - dia[i][j] * peri_row[j][tx];
+      }
+    }
+  } else {
+    int tc = tx - 16;
+    for (int j = 0; j < 16; j++) {
+      for (int k = 0; k < j; k++) {
+        peri_col[tc][j] = peri_col[tc][j] - peri_col[tc][k] * dia[k][j];
+      }
+      peri_col[tc][j] = peri_col[tc][j] / dia[j][j];
+    }
+  }
+  __syncthreads();
+  if (tx < 16) {
+    for (int i = 0; i < 16; i++) {
+      m[(offset + i) * n + gbase + tx] = peri_row[i][tx];
+    }
+  } else {
+    int tc = tx - 16;
+    for (int i = 0; i < 16; i++) {
+      m[(gbase + i) * n + offset + tc] = peri_col[i][tc];
+    }
+  }
+}
+
+__global__ void lud_internal(float* m, int n, int offset) {
+  __shared__ float peri_row[16][16];
+  __shared__ float peri_col[16][16];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int gx = offset + (blockIdx.x + 1) * BS + tx;
+  int gy = offset + (blockIdx.y + 1) * BS + ty;
+  peri_row[ty][tx] = m[(offset + ty) * n + gx];
+  peri_col[ty][tx] = m[gy * n + offset + tx];
+  __syncthreads();
+  float sum = 0.0f;
+  for (int k = 0; k < 16; k++) {
+    sum += peri_col[ty][k] * peri_row[k][tx];
+  }
+  m[gy * n + gx] = m[gy * n + gx] - sum;
+}
+
+float* main(int nt) {
+  int n = nt * BS;
+  float* hm = (float*)malloc(n * n * sizeof(float));
+  fill_rand(hm, 17);
+  for (int i = 0; i < n; i++) {
+    hm[i * n + i] += (float)n;
+  }
+  float* dm;
+  cudaMalloc((void**)&dm, n * n * sizeof(float));
+  cudaMemcpy(dm, hm, n * n * sizeof(float), cudaMemcpyHostToDevice);
+  for (int b = 0; b < nt - 1; b++) {
+    int offset = b * BS;
+    int rest = nt - 1 - b;
+    lud_diagonal<<<1, BS>>>(dm, n, offset);
+    lud_perimeter<<<rest, 32>>>(dm, n, offset);
+    dim3 g(rest, rest);
+    dim3 blk(BS, BS);
+    lud_internal<<<g, blk>>>(dm, n, offset);
+  }
+  lud_diagonal<<<1, BS>>>(dm, n, (nt - 1) * BS);
+  cudaMemcpy(hm, dm, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+  return hm;
+}
+|}
+
+(** CPU reference mirroring the blocked algorithm (same arithmetic
+    order as the kernels, so results match tightly). *)
+let reference args =
+  let nt = List.hd args in
+  let n = nt * 16 in
+  let m = Bench_def.rand_array 17 (n * n) in
+  for i = 0 to n - 1 do
+    m.((i * n) + i) <- m.((i * n) + i) +. float_of_int n
+  done;
+  let get r c = m.((r * n) + c) in
+  let set r c v = m.((r * n) + c) <- v in
+  let lu_tile o =
+    for i = 0 to 14 do
+      for r = i + 1 to 15 do
+        set (o + r) (o + i) (get (o + r) (o + i) /. get (o + i) (o + i))
+      done;
+      for r = i + 1 to 15 do
+        for j = i + 1 to 15 do
+          set (o + r) (o + j) (get (o + r) (o + j) -. (get (o + r) (o + i) *. get (o + i) (o + j)))
+        done
+      done
+    done
+  in
+  for b = 0 to nt - 2 do
+    let o = b * 16 in
+    lu_tile o;
+    let rest = nt - 1 - b in
+    (* perimeter *)
+    for bx = 0 to rest - 1 do
+      let gbase = o + ((bx + 1) * 16) in
+      (* row panel: forward substitution with unit L *)
+      for t = 0 to 15 do
+        for i = 1 to 15 do
+          for j = 0 to i - 1 do
+            set (o + i) (gbase + t)
+              (get (o + i) (gbase + t) -. (get (o + i) (o + j) *. get (o + j) (gbase + t)))
+          done
+        done
+      done;
+      (* column panel: solve X * U = C *)
+      for tc = 0 to 15 do
+        for j = 0 to 15 do
+          for k = 0 to j - 1 do
+            set (gbase + tc) (o + j)
+              (get (gbase + tc) (o + j) -. (get (gbase + tc) (o + k) *. get (o + k) (o + j)))
+          done;
+          set (gbase + tc) (o + j) (get (gbase + tc) (o + j) /. get (o + j) (o + j))
+        done
+      done
+    done;
+    (* internal update *)
+    for by = 0 to rest - 1 do
+      for bx = 0 to rest - 1 do
+        for ty = 0 to 15 do
+          for tx = 0 to 15 do
+            let gy = o + ((by + 1) * 16) + ty and gx = o + ((bx + 1) * 16) + tx in
+            let sum = ref 0. in
+            for k = 0 to 15 do
+              sum := !sum +. (get gy (o + k) *. get (o + k) gx)
+            done;
+            set gy gx (get gy gx -. !sum)
+          done
+        done
+      done
+    done
+  done;
+  lu_tile ((nt - 1) * 16);
+  m
+
+let bench : Bench_def.t =
+  {
+    name = "lud";
+    description = "blocked LU decomposition (16x16 tiles, 3 kernels)";
+    source;
+    args = [ 16 ] (* 256 x 256 matrix *);
+    test_args = [ 4 ] (* 64 x 64 *);
+    perf_args = [ 128 ];
+    data_dependent_host = false;
+    reference;
+    tolerance = 2e-3;
+    fp64 = false;
+  }

@@ -1,0 +1,75 @@
+(** Cardiac myocyte simulation (Rodinia myocyte): small-parallelism,
+    special-function-heavy ODE integration. Each thread advances one
+    simulation instance through [steps] explicit-Euler steps of a
+    stiff two-variable kinetics model dominated by [expf] evaluations
+    — SFU-bound with very few blocks, the opposite end of the
+    spectrum from the memory-bound kernels. *)
+
+let source =
+  {|
+__global__ void myocyte_step(float* v, float* w, int n, int steps, float dt) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float vi = v[i];
+    float wi = w[i];
+    for (int s = 0; s < steps; s++) {
+      float e1 = expf(-vi * vi);
+      float e2 = expf(-0.5f * wi);
+      float dv = -vi * (0.2f + e2) + 0.8f * e1 + 0.1f;
+      float dw = 0.7f * (vi - 0.5f * wi) + 0.05f * e1;
+      vi += dt * dv;
+      wi += dt * dw;
+    }
+    v[i] = vi;
+    w[i] = wi;
+  }
+}
+
+float* main(int n, int steps) {
+  float* hv = (float*)malloc(n * sizeof(float));
+  float* hw = (float*)malloc(n * sizeof(float));
+  fill_rand_range(hv, 91, -1.0f, 1.0f);
+  fill_rand_range(hw, 92, -1.0f, 1.0f);
+  float* dv; float* dw;
+  cudaMalloc((void**)&dv, n * sizeof(float));
+  cudaMalloc((void**)&dw, n * sizeof(float));
+  cudaMemcpy(dv, hv, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dw, hw, n * sizeof(float), cudaMemcpyHostToDevice);
+  myocyte_step<<<(n + 31) / 32, 32>>>(dv, dw, n, steps, 0.01f);
+  cudaMemcpy(hv, dv, n * sizeof(float), cudaMemcpyDeviceToHost);
+  return hv;
+}
+|}
+
+let reference args =
+  match args with
+  | [ n; steps ] ->
+      let v = Bench_def.rand_range 91 (-1.) 1. n in
+      let w = Bench_def.rand_range 92 (-1.) 1. n in
+      let dt = 0.01 in
+      Array.init n (fun i ->
+          let vi = ref v.(i) and wi = ref w.(i) in
+          for _ = 1 to steps do
+            let e1 = exp (-.(!vi *. !vi)) in
+            let e2 = exp (-0.5 *. !wi) in
+            let dv = (-.(!vi) *. (0.2 +. e2)) +. (0.8 *. e1) +. 0.1 in
+            let dw = (0.7 *. (!vi -. (0.5 *. !wi))) +. (0.05 *. e1) in
+            vi := !vi +. (dt *. dv);
+            wi := !wi +. (dt *. dw)
+          done;
+          !vi)
+  | _ -> invalid_arg "myocyte expects [n; steps]"
+
+let bench : Bench_def.t =
+  {
+    name = "myocyte";
+    description = "SFU-heavy ODE integration with tiny grids";
+    args = [ 1024; 200 ];
+    test_args = [ 96; 20 ];
+    perf_args = [ 4096; 400 ];
+    data_dependent_host = false;
+    source;
+    reference;
+    tolerance = 5e-4;
+    fp64 = false;
+  }

@@ -1,0 +1,55 @@
+(** Nearest neighbor (Rodinia nn): one memory-bound kernel computing
+    the Euclidean distance of every record to the query point; the
+    host then scans for the k smallest (k = 1 here, like the default
+    configuration). Returns the distance array. *)
+
+let source =
+  {|
+__global__ void euclid(float* lat, float* lng, float* dist, int n, float qlat, float qlng) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float dy = lat[i] - qlat;
+    float dx = lng[i] - qlng;
+    dist[i] = sqrtf(dy * dy + dx * dx);
+  }
+}
+
+float* main(int n) {
+  float* hlat = (float*)malloc(n * sizeof(float));
+  float* hlng = (float*)malloc(n * sizeof(float));
+  float* hdist = (float*)malloc(n * sizeof(float));
+  fill_rand_range(hlat, 81, 0.0f, 90.0f);
+  fill_rand_range(hlng, 82, 0.0f, 180.0f);
+  float* dlat; float* dlng; float* ddist;
+  cudaMalloc((void**)&dlat, n * sizeof(float));
+  cudaMalloc((void**)&dlng, n * sizeof(float));
+  cudaMalloc((void**)&ddist, n * sizeof(float));
+  cudaMemcpy(dlat, hlat, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dlng, hlng, n * sizeof(float), cudaMemcpyHostToDevice);
+  euclid<<<(n + 255) / 256, 256>>>(dlat, dlng, ddist, n, 45.0f, 90.0f);
+  cudaMemcpy(hdist, ddist, n * sizeof(float), cudaMemcpyDeviceToHost);
+  return hdist;
+}
+|}
+
+let reference args =
+  let n = List.hd args in
+  let lat = Bench_def.rand_range 81 0. 90. n in
+  let lng = Bench_def.rand_range 82 0. 180. n in
+  Array.init n (fun i ->
+      let dy = lat.(i) -. 45. and dx = lng.(i) -. 90. in
+      sqrt ((dy *. dy) +. (dx *. dx)))
+
+let bench : Bench_def.t =
+  {
+    name = "nn";
+    description = "nearest-neighbor distance kernel (memory bound)";
+    args = [ 65536 ];
+    test_args = [ 2000 ];
+    perf_args = [ 524288 ];
+    data_dependent_host = false;
+    source;
+    reference;
+    tolerance = 1e-6;
+    fp64 = false;
+  }

@@ -1,0 +1,145 @@
+(** Particle filter (Rodinia particlefilter), double precision:
+    likelihood-weight update, shared-memory weight reduction for the
+    normalization constant, and systematic resampling where every
+    particle performs a data-dependent linear search over the CDF
+    (divergent loop). Returns the resampled particle positions. *)
+
+let source =
+  {|
+#define BS 128
+
+__global__ void likelihood(double* xs, double* w, int n, double obs) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    double d = xs[i] - obs;
+    w[i] = exp(-0.5 * d * d);
+  }
+}
+
+__global__ void wsum(double* w, double* partial, int n) {
+  __shared__ double sw[128];
+  int t = threadIdx.x;
+  int i = blockIdx.x * BS + t;
+  if (i < n) {
+    sw[t] = w[i];
+  } else {
+    sw[t] = 0.0;
+  }
+  __syncthreads();
+  for (int k = 0; k < 7; k++) {
+    int s = 64 >> k;
+    if (t < s) {
+      sw[t] += sw[t + s];
+    }
+    __syncthreads();
+  }
+  if (t == 0) {
+    partial[blockIdx.x] = sw[0];
+  }
+}
+
+__global__ void normalize(double* w, int n, double total) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    w[i] = w[i] / total;
+  }
+}
+
+__global__ void resample(double* xs, double* xnew, double* cdf, int n, double u0) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    double u = u0 + (double)i / (double)n;
+    int j = 0;
+    while (j < n - 1 && cdf[j] < u) {
+      j++;
+    }
+    xnew[i] = xs[j];
+  }
+}
+
+float* main(int n) {
+  int nb = (n + BS - 1) / BS;
+  double* hx = (double*)malloc(n * sizeof(double));
+  double* hw = (double*)malloc(n * sizeof(double));
+  double* hpart = (double*)malloc(nb * sizeof(double));
+  double* hcdf = (double*)malloc(n * sizeof(double));
+  double* hnew = (double*)malloc(n * sizeof(double));
+  fill_rand_range(hx, 141, -2.0f, 2.0f);
+  double* dx; double* dw; double* dpart; double* dcdf; double* dnew;
+  cudaMalloc((void**)&dx, n * sizeof(double));
+  cudaMalloc((void**)&dw, n * sizeof(double));
+  cudaMalloc((void**)&dpart, nb * sizeof(double));
+  cudaMalloc((void**)&dcdf, n * sizeof(double));
+  cudaMalloc((void**)&dnew, n * sizeof(double));
+  cudaMemcpy(dx, hx, n * sizeof(double), cudaMemcpyHostToDevice);
+  likelihood<<<nb, BS>>>(dx, dw, n, 0.75);
+  wsum<<<nb, BS>>>(dw, dpart, n);
+  cudaMemcpy(hpart, dpart, nb * sizeof(double), cudaMemcpyDeviceToHost);
+  double total = 0.0;
+  for (int k = 0; k < nb; k++) {
+    total += hpart[k];
+  }
+  normalize<<<nb, BS>>>(dw, n, total);
+  cudaMemcpy(hw, dw, n * sizeof(double), cudaMemcpyDeviceToHost);
+  double acc = 0.0;
+  for (int k = 0; k < n; k++) {
+    acc += hw[k];
+    hcdf[k] = acc;
+  }
+  cudaMemcpy(dcdf, hcdf, n * sizeof(double), cudaMemcpyHostToDevice);
+  resample<<<nb, BS>>>(dx, dnew, dcdf, n, 0.25 / (double)n);
+  cudaMemcpy(hnew, dnew, n * sizeof(double), cudaMemcpyDeviceToHost);
+  return hnew;
+}
+|}
+
+let reference args =
+  let n = List.hd args in
+  let xs = Bench_def.rand_range 141 (-2.) 2. n in
+  let w = Array.map (fun x -> let d = x -. 0.75 in exp (-0.5 *. d *. d)) xs in
+  (* block-tree sum of the weights, as the kernel computes it *)
+  let nb = (n + 127) / 128 in
+  let total = ref 0. in
+  for b = 0 to nb - 1 do
+    let sw = Array.make 128 0. in
+    for t = 0 to 127 do
+      let i = (b * 128) + t in
+      if i < n then sw.(t) <- w.(i)
+    done;
+    for k = 0 to 6 do
+      let s = 64 lsr k in
+      for t = 0 to s - 1 do
+        sw.(t) <- sw.(t) +. sw.(t + s)
+      done
+    done;
+    total := !total +. sw.(0)
+  done;
+  let wn = Array.map (fun x -> x /. !total) w in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. wn.(k);
+    cdf.(k) <- !acc
+  done;
+  let u0 = 0.25 /. float_of_int n in
+  Array.init n (fun i ->
+      let u = u0 +. (float_of_int i /. float_of_int n) in
+      let j = ref 0 in
+      while !j < n - 1 && cdf.(!j) < u do
+        incr j
+      done;
+      xs.(!j))
+
+let bench : Bench_def.t =
+  {
+    name = "particlefilter";
+    description = "likelihood + normalize + divergent systematic resampling, double precision";
+    args = [ 8192 ];
+    test_args = [ 700 ];
+    perf_args = [ 4096 ];
+    data_dependent_host = true;
+    source;
+    reference;
+    tolerance = 1e-12;
+    fp64 = true;
+  }

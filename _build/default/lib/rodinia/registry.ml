@@ -1,0 +1,30 @@
+(** The benchmark registry: the 15 Rodinia benchmarks the paper
+    evaluates (Section VII-A — Rodinia v3 minus the nine excluded for
+    deprecated textures, unsupported features, or non-determinism),
+    re-implemented in mini-CUDA. *)
+
+let all : Bench_def.t list =
+  [
+    Backprop.bench;
+    Bfs.bench;
+    Cfd.bench;
+    Gaussian.bench;
+    Hotspot.bench;
+    Hotspot3d.bench;
+    Lavamd.bench;
+    Lud.bench;
+    Myocyte.bench;
+    Nn.bench;
+    Nw.bench;
+    Particlefilter.bench;
+    Pathfinder.bench;
+    Srad.bench;
+    Streamcluster.bench;
+  ]
+
+let find name =
+  match List.find_opt (fun (b : Bench_def.t) -> String.equal b.Bench_def.name name) all with
+  | Some b -> b
+  | None -> Pgpu_support.Util.failf "unknown benchmark %S" name
+
+let names () = List.map (fun (b : Bench_def.t) -> b.Bench_def.name) all

@@ -1,0 +1,225 @@
+(** Speckle-reducing anisotropic diffusion (Rodinia srad_v1): the
+    image statistics are computed by a shared-memory tree [reduce]
+    kernel (the kernel whose codegen difference against clang the
+    paper analyses in Section VII-C), then [srad1] computes the
+    directional derivatives and diffusion coefficients and [srad2]
+    applies the update, for a few host iterations. *)
+
+let source =
+  {|
+#define BS 256
+
+__global__ void extract(float* img, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    img[i] = expf(img[i] / 255.0f);
+  }
+}
+
+__global__ void reduce(float* img, float* sums, float* sums2, int n) {
+  __shared__ float psum[256];
+  __shared__ float psum2[256];
+  int t = threadIdx.x;
+  int i = blockIdx.x * BS + t;
+  if (i < n) {
+    psum[t] = img[i];
+    psum2[t] = img[i] * img[i];
+  } else {
+    psum[t] = 0.0f;
+    psum2[t] = 0.0f;
+  }
+  __syncthreads();
+  for (int k = 0; k < 8; k++) {
+    int s = 128 >> k;
+    if (t < s) {
+      psum[t] += psum[t + s];
+      psum2[t] += psum2[t + s];
+    }
+    __syncthreads();
+  }
+  if (t == 0) {
+    sums[blockIdx.x] = psum[0];
+    sums2[blockIdx.x] = psum2[0];
+  }
+}
+
+__global__ void srad1(float* img, float* dn, float* ds, float* dw, float* de, float* c,
+                      int rows, int cols, float q0sqr) {
+  int x = blockIdx.x * 16 + threadIdx.x;
+  int y = blockIdx.y * 16 + threadIdx.y;
+  int i = y * cols + x;
+  float jc = img[i];
+  int yn = y == 0 ? y : y - 1;
+  int ys = y == rows - 1 ? y : y + 1;
+  int xw = x == 0 ? x : x - 1;
+  int xe = x == cols - 1 ? x : x + 1;
+  float n = img[yn * cols + x] - jc;
+  float s = img[ys * cols + x] - jc;
+  float w = img[y * cols + xw] - jc;
+  float e = img[y * cols + xe] - jc;
+  float g2 = (n * n + s * s + w * w + e * e) / (jc * jc);
+  float l = (n + s + w + e) / jc;
+  float num = 0.5f * g2 - 0.0625f * l * l;
+  float den = 1.0f + 0.25f * l;
+  float qsqr = num / (den * den);
+  den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+  float cv = 1.0f / (1.0f + den);
+  if (cv < 0.0f) cv = 0.0f;
+  if (cv > 1.0f) cv = 1.0f;
+  dn[i] = n;
+  ds[i] = s;
+  dw[i] = w;
+  de[i] = e;
+  c[i] = cv;
+}
+
+__global__ void srad2(float* img, float* dn, float* ds, float* dw, float* de, float* c,
+                      int rows, int cols, float lambda) {
+  int x = blockIdx.x * 16 + threadIdx.x;
+  int y = blockIdx.y * 16 + threadIdx.y;
+  int i = y * cols + x;
+  int ys = y == rows - 1 ? y : y + 1;
+  int xe = x == cols - 1 ? x : x + 1;
+  float cn = c[i];
+  float cs = c[ys * cols + x];
+  float cw = c[i];
+  float ce = c[y * cols + xe];
+  float d = cn * dn[i] + cs * ds[i] + cw * dw[i] + ce * de[i];
+  img[i] = img[i] + 0.25f * lambda * d;
+}
+
+float* main(int nt, int iters) {
+  int rows = nt * 16;
+  int cols = nt * 16;
+  int n = rows * cols;
+  int nb = (n + BS - 1) / BS;
+  float* himg = (float*)malloc(n * sizeof(float));
+  float* hsums = (float*)malloc(nb * sizeof(float));
+  float* hsums2 = (float*)malloc(nb * sizeof(float));
+  fill_rand_range(himg, 121, 0.0f, 255.0f);
+  float* dimg; float* dsums; float* dsums2;
+  float* dn; float* ds; float* dw; float* de; float* dc;
+  cudaMalloc((void**)&dimg, n * sizeof(float));
+  cudaMalloc((void**)&dsums, nb * sizeof(float));
+  cudaMalloc((void**)&dsums2, nb * sizeof(float));
+  cudaMalloc((void**)&dn, n * sizeof(float));
+  cudaMalloc((void**)&ds, n * sizeof(float));
+  cudaMalloc((void**)&dw, n * sizeof(float));
+  cudaMalloc((void**)&de, n * sizeof(float));
+  cudaMalloc((void**)&dc, n * sizeof(float));
+  cudaMemcpy(dimg, himg, n * sizeof(float), cudaMemcpyHostToDevice);
+  extract<<<nb, BS>>>(dimg, n);
+  dim3 grid(nt, nt);
+  dim3 blk(16, 16);
+  for (int it = 0; it < iters; it++) {
+    reduce<<<nb, BS>>>(dimg, dsums, dsums2, n);
+    cudaMemcpy(hsums, dsums, nb * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaMemcpy(hsums2, dsums2, nb * sizeof(float), cudaMemcpyDeviceToHost);
+    float total = 0.0f;
+    float total2 = 0.0f;
+    for (int k = 0; k < nb; k++) {
+      total += hsums[k];
+      total2 += hsums2[k];
+    }
+    float mean = total / (float)n;
+    float var = total2 / (float)n - mean * mean;
+    float q0sqr = var / (mean * mean);
+    srad1<<<grid, blk>>>(dimg, dn, ds, dw, de, dc, rows, cols, q0sqr);
+    srad2<<<grid, blk>>>(dimg, dn, ds, dw, de, dc, rows, cols, 0.5f);
+  }
+  cudaMemcpy(himg, dimg, n * sizeof(float), cudaMemcpyDeviceToHost);
+  return himg;
+}
+|}
+
+let reference args =
+  match args with
+  | [ nt; iters ] ->
+      let rows = nt * 16 and cols = nt * 16 in
+      let n = rows * cols in
+      let img = Array.map (fun r -> exp (r /. 255.)) (Bench_def.rand_range 121 0. 255. n) in
+      for _ = 1 to iters do
+        (* block-tree reduction order for the statistics *)
+        let nb = (n + 255) / 256 in
+        let total = ref 0. and total2 = ref 0. in
+        for b = 0 to nb - 1 do
+          let p = Array.make 256 0. and p2 = Array.make 256 0. in
+          for t = 0 to 255 do
+            let i = (b * 256) + t in
+            if i < n then begin
+              p.(t) <- img.(i);
+              p2.(t) <- img.(i) *. img.(i)
+            end
+          done;
+          for k = 0 to 7 do
+            let s = 128 lsr k in
+            for t = 0 to s - 1 do
+              p.(t) <- p.(t) +. p.(t + s);
+              p2.(t) <- p2.(t) +. p2.(t + s)
+            done
+          done;
+          total := !total +. p.(0);
+          total2 := !total2 +. p2.(0)
+        done;
+        let mean = !total /. float_of_int n in
+        let var = (!total2 /. float_of_int n) -. (mean *. mean) in
+        let q0sqr = var /. (mean *. mean) in
+        let dn = Array.make n 0. and ds = Array.make n 0. in
+        let dw = Array.make n 0. and de = Array.make n 0. in
+        let c = Array.make n 0. in
+        for y = 0 to rows - 1 do
+          for x = 0 to cols - 1 do
+            let i = (y * cols) + x in
+            let jc = img.(i) in
+            let yn = if y = 0 then y else y - 1 in
+            let ys = if y = rows - 1 then y else y + 1 in
+            let xw = if x = 0 then x else x - 1 in
+            let xe = if x = cols - 1 then x else x + 1 in
+            let nv = img.((yn * cols) + x) -. jc in
+            let sv = img.((ys * cols) + x) -. jc in
+            let wv = img.((y * cols) + xw) -. jc in
+            let ev = img.((y * cols) + xe) -. jc in
+            let g2 = ((nv *. nv) +. (sv *. sv) +. (wv *. wv) +. (ev *. ev)) /. (jc *. jc) in
+            let l = (nv +. sv +. wv +. ev) /. jc in
+            let num = (0.5 *. g2) -. (0.0625 *. l *. l) in
+            let den = 1. +. (0.25 *. l) in
+            let qsqr = num /. (den *. den) in
+            let den = (qsqr -. q0sqr) /. (q0sqr *. (1. +. q0sqr)) in
+            let cv = 1. /. (1. +. den) in
+            let cv = if cv < 0. then 0. else if cv > 1. then 1. else cv in
+            dn.(i) <- nv;
+            ds.(i) <- sv;
+            dw.(i) <- wv;
+            de.(i) <- ev;
+            c.(i) <- cv
+          done
+        done;
+        for y = 0 to rows - 1 do
+          for x = 0 to cols - 1 do
+            let i = (y * cols) + x in
+            let ys = if y = rows - 1 then y else y + 1 in
+            let xe = if x = cols - 1 then x else x + 1 in
+            let d =
+              (c.(i) *. dn.(i)) +. (c.((ys * cols) + x) *. ds.(i)) +. (c.(i) *. dw.(i))
+              +. (c.((y * cols) + xe) *. de.(i))
+            in
+            img.(i) <- img.(i) +. (0.25 *. 0.5 *. d)
+          done
+        done
+      done;
+      img
+  | _ -> invalid_arg "srad expects [nt; iters]"
+
+let bench : Bench_def.t =
+  {
+    name = "srad_v1";
+    description = "anisotropic diffusion: tree reduction + two stencil kernels";
+    args = [ 16; 4 ];
+    test_args = [ 3; 2 ];
+    perf_args = [ 64; 8 ];
+    data_dependent_host = false;
+    source;
+    reference;
+    tolerance = 1e-3;
+    fp64 = false;
+  }

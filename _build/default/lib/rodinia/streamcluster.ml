@@ -1,0 +1,77 @@
+(** Streaming k-median clustering (Rodinia streamcluster): the pgain
+    kernel computes, for every point, the cost delta of switching its
+    assignment to a candidate center — a dense distance computation
+    over 32-dimensional points with a weight applied. Returns the
+    per-point cost-delta array. *)
+
+let source =
+  {|
+#define DIM 32
+
+__global__ void pgain(float* coords, float* center, float* weight,
+                      float* assign_cost, float* delta, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float dist = 0.0f;
+    for (int d = 0; d < DIM; d++) {
+      float diff = coords[d * n + i] - center[d];
+      dist += diff * diff;
+    }
+    delta[i] = dist * weight[i] - assign_cost[i];
+  }
+}
+
+float* main(int n) {
+  float* hcoords = (float*)malloc(n * DIM * sizeof(float));
+  float* hcenter = (float*)malloc(DIM * sizeof(float));
+  float* hweight = (float*)malloc(n * sizeof(float));
+  float* hcost = (float*)malloc(n * sizeof(float));
+  float* hdelta = (float*)malloc(n * sizeof(float));
+  fill_rand(hcoords, 151);
+  fill_rand(hcenter, 152);
+  fill_rand_range(hweight, 153, 1.0f, 4.0f);
+  fill_rand_range(hcost, 154, 0.0f, 8.0f);
+  float* dcoords; float* dcenter; float* dweight; float* dcost; float* ddelta;
+  cudaMalloc((void**)&dcoords, n * DIM * sizeof(float));
+  cudaMalloc((void**)&dcenter, DIM * sizeof(float));
+  cudaMalloc((void**)&dweight, n * sizeof(float));
+  cudaMalloc((void**)&dcost, n * sizeof(float));
+  cudaMalloc((void**)&ddelta, n * sizeof(float));
+  cudaMemcpy(dcoords, hcoords, n * DIM * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dcenter, hcenter, DIM * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dweight, hweight, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dcost, hcost, n * sizeof(float), cudaMemcpyHostToDevice);
+  pgain<<<(n + 255) / 256, 256>>>(dcoords, dcenter, dweight, dcost, ddelta, n);
+  cudaMemcpy(hdelta, ddelta, n * sizeof(float), cudaMemcpyDeviceToHost);
+  return hdelta;
+}
+|}
+
+let reference args =
+  let n = List.hd args in
+  let dim = 32 in
+  let coords = Bench_def.rand_array 151 (n * dim) in
+  let center = Bench_def.rand_array 152 dim in
+  let weight = Bench_def.rand_range 153 1. 4. n in
+  let cost = Bench_def.rand_range 154 0. 8. n in
+  Array.init n (fun i ->
+      let dist = ref 0. in
+      for d = 0 to dim - 1 do
+        let diff = coords.((d * n) + i) -. center.(d) in
+        dist := !dist +. (diff *. diff)
+      done;
+      (!dist *. weight.(i)) -. cost.(i))
+
+let bench : Bench_def.t =
+  {
+    name = "streamcluster";
+    description = "pgain cost-delta kernel over 32-dimensional points";
+    args = [ 16384 ];
+    test_args = [ 1200 ];
+    perf_args = [ 131072 ];
+    data_dependent_host = false;
+    source;
+    reference;
+    tolerance = 1e-5;
+    fp64 = false;
+  }

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Buffer Exec Fmt Fun Hashtbl Instr List Logs Memory Ops Pgpu_gpusim Pgpu_ir Pgpu_support Pgpu_target Timing Types Value

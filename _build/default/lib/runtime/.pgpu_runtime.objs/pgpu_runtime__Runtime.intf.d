@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Exec Instr Pgpu_gpusim Pgpu_ir Pgpu_target Timing

@@ -1,0 +1,484 @@
+(** Host-side runtime: interprets the host portion of a compiled
+    module, launches kernels on the GPU simulator, accounts composite
+    time (host logic + transfers + kernel time, the paper's "composite
+    measurement"), and implements the timing-driven optimization that
+    picks the best [Alternatives] region per launch site
+    (Section VI). *)
+
+open Pgpu_ir
+open Pgpu_gpusim
+module Descriptor = Pgpu_target.Descriptor
+module Backend = Pgpu_target.Backend
+
+type launch_record = {
+  kernel : string;
+  wid : int;
+  alternative : int option;  (** which alternatives region produced this launch *)
+  result : Exec.launch_result;
+  stats : Backend.kernel_stats;
+  breakdown : Timing.breakdown;
+  seconds : float;
+}
+
+type config = {
+  target : Descriptor.t;
+  functional : bool;
+      (** execute every block of every launch — outputs are exact; when
+          false, large grids are sampled and only timing is meaningful *)
+  sample_blocks : int;  (** blocks executed per launch when sampling *)
+  tune : bool;  (** enable timing-driven selection of alternatives *)
+  fixed_choice : int;  (** alternatives region used when [tune] is false *)
+  host_op_cost : float;  (** seconds charged per interpreted host instruction *)
+  memcpy_overhead : float;  (** fixed seconds per cudaMemcpy *)
+  seed : int;
+}
+
+let default_config target =
+  {
+    target;
+    functional = true;
+    sample_blocks = 24;
+    tune = false;
+    fixed_choice = 0;
+    host_op_cost = 2e-9;
+    memcpy_overhead = 10e-6;
+    seed = 0x5eed;
+  }
+
+type state = {
+  config : config;
+  machine : Exec.machine;
+  env : Exec.env;
+  mutable records : launch_record list;
+  mutable composite : float;
+  mutable trial : bool;  (** inside a TDO trial: sample + don't record *)
+  choices : (int * string, int) Hashtbl.t;
+      (** (alternatives id, launch signature) -> chosen region. The
+          signature buckets the integer inputs of the launch site by
+          magnitude, so sites whose grids shrink across a host loop
+          (e.g. gaussian, lud, nw) are re-tuned when the scale changes
+          but not on every iteration. *)
+  freevars_cache : (int, Value.t list) Hashtbl.t;  (** wrapper id -> free values *)
+  stats_cache : (int * int, Backend.kernel_stats) Hashtbl.t;
+}
+
+let create config =
+  {
+    config;
+    machine = Exec.create_machine config.target;
+    env = Exec.env_create ();
+    records = [];
+    composite = 0.;
+    trial = false;
+    choices = Hashtbl.create 8;
+    freevars_cache = Hashtbl.create 8;
+    stats_cache = Hashtbl.create 8;
+  }
+
+exception Host_error of string
+
+let host_fail fmt = Fmt.kstr (fun s -> raise (Host_error s)) fmt
+
+let charge st seconds = if not st.trial then st.composite <- st.composite +. seconds
+
+(* ------------------------------------------------------------------ *)
+(* Scalar host evaluation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lookup st v = Exec.lookup st.env v
+let bind st v rv = Exec.bind st.env v rv
+
+let as_int st v = match lookup st v with Exec.UI x -> x | Exec.UF x -> int_of_float x | _ -> host_fail "expected host scalar int %a" Value.pp v
+
+let as_float st v =
+  match lookup st v with
+  | Exec.UF x -> x
+  | Exec.UI x -> float_of_int x
+  | _ -> host_fail "expected host scalar float %a" Value.pp v
+
+let as_buf st v = match lookup st v with Exec.UB b -> b | _ -> host_fail "expected buffer %a" Value.pp v
+
+let eval_host_expr st (res : Value.t) (e : Instr.expr) : Exec.rv =
+  let ty = res.Value.ty in
+  match e with
+  | Instr.Const (Instr.Ci n) -> Exec.UI n
+  | Instr.Const (Instr.Cf f) -> Exec.UF f
+  | Instr.Binop (op, a, b) ->
+      if Types.is_float ty then Exec.UF (Ops.eval_float_binop op (as_float st a) (as_float st b))
+      else Exec.UI (Ops.eval_int_binop op (as_int st a) (as_int st b))
+  | Instr.Unop (op, a) ->
+      if Types.is_float ty then Exec.UF (Ops.eval_float_unop op (as_float st a))
+      else Exec.UI (Ops.eval_int_unop op (as_int st a))
+  | Instr.Cmp (op, a, b) ->
+      let r =
+        if Types.is_float a.Value.ty then Ops.eval_float_cmp op (as_float st a) (as_float st b)
+        else Ops.eval_int_cmp op (as_int st a) (as_int st b)
+      in
+      Exec.UI (if r then 1 else 0)
+  | Instr.Select (c, a, b) -> if as_int st c <> 0 then lookup st a else lookup st b
+  | Instr.Cast a -> (
+      match (Types.is_float ty, lookup st a) with
+      | true, Exec.UI x -> Exec.UF (float_of_int x)
+      | true, (Exec.UF _ as v) -> v
+      | false, Exec.UF x -> Exec.UI (int_of_float x)
+      | false, (Exec.UI _ as v) -> v
+      | _, v -> v)
+  | Instr.Load { mem; idx } ->
+      let b = as_buf st mem and i = as_int st idx in
+      if Types.is_float (Types.elem mem.Value.ty) then Exec.UF (Memory.get_f b i)
+      else Exec.UI (Memory.get_i b i)
+
+(* ------------------------------------------------------------------ *)
+(* Intrinsics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Deterministic input generation shared with the CPU reference
+    implementations: the contents of a buffer filled by
+    [fill_rand(buf, seed)] depend only on the seed and length. *)
+let rand_array seed n =
+  let rng = Pgpu_support.Rng.create seed in
+  Array.init n (fun _ -> Pgpu_support.Rng.float rng)
+
+let rand_int_array seed bound n =
+  let rng = Pgpu_support.Rng.create seed in
+  Array.init n (fun _ -> Pgpu_support.Rng.int rng bound)
+
+let eval_intrinsic st (results : Value.t list) name (args : Value.t list) =
+  match (name, args) with
+  | "fill_rand", [ buf; seed ] ->
+      let b = as_buf st buf in
+      let data = rand_array (as_int st seed) b.Memory.len in
+      Memory.fill_f b (fun i -> data.(i))
+  | "fill_rand_range", [ buf; seed; lo; hi ] ->
+      let b = as_buf st buf in
+      let lo = as_float st lo and hi = as_float st hi in
+      let data = rand_array (as_int st seed) b.Memory.len in
+      Memory.fill_f b (fun i -> lo +. ((hi -. lo) *. data.(i)))
+  | "fill_int_rand", [ buf; seed; bound ] ->
+      let b = as_buf st buf in
+      let data = rand_int_array (as_int st seed) (as_int st bound) b.Memory.len in
+      Memory.fill_i b (fun i -> data.(i))
+  | "fill_const", [ buf; c ] ->
+      let b = as_buf st buf in
+      if Types.is_float b.Memory.elt then Memory.fill_f b (fun _ -> as_float st c)
+      else Memory.fill_i b (fun _ -> as_int st c)
+  | "fill_seq", [ buf ] ->
+      let b = as_buf st buf in
+      Memory.fill_i b (fun i -> i)
+  | "print_i32", [ v ] -> Logs.app (fun m -> m "%d" (as_int st v))
+  | "print_f32", [ v ] -> Logs.app (fun m -> m "%g" (as_float st v))
+  | _ ->
+      host_fail "unknown intrinsic %S with %d args and %d results" name (List.length args)
+        (List.length results)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer snapshot/restore for TDO trials                              *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_buffers st =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ rv ->
+      match rv with
+      | Exec.UB b when not (Hashtbl.mem seen b.Memory.id) ->
+          let copy =
+            match b.Memory.data with
+            | Memory.I a -> Memory.I (Array.copy a)
+            | Memory.F a -> Memory.F (Array.copy a)
+          in
+          Hashtbl.replace seen b.Memory.id (b, copy)
+      | _ -> ())
+    st.env;
+  seen
+
+let restore_buffers snap =
+  Hashtbl.iter
+    (fun _ (b, copy) ->
+      match (b.Memory.data, copy) with
+      | Memory.I dst, Memory.I src -> Array.blit src 0 dst 0 (Array.length src)
+      | Memory.F dst, Memory.F src -> Array.blit src 0 dst 0 (Array.length src)
+      | Memory.I _, Memory.F _ | Memory.F _, Memory.I _ -> assert false)
+    snap
+
+(* ------------------------------------------------------------------ *)
+(* Kernel launches                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Decide the per-thread shared-memory pressure threshold above which
+    the AMD backend demotes shared memory to global (the nw behaviour
+    of Section VII-D2). *)
+let amd_shared_offload_threshold = 96 (* bytes of shared memory per thread *)
+
+let kernel_stats st ~wid ~alt region =
+  let key = (wid, alt) in
+  match Hashtbl.find_opt st.stats_cache key with
+  | Some s -> s
+  | None ->
+      let s = Backend.analyze st.config.target region in
+      Hashtbl.replace st.stats_cache key s;
+      s
+
+(** Execute one kernel region (the selected alternatives region or the
+    plain wrapper body): leading host instructions are evaluated, each
+    grid-level parallel is launched. *)
+let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
+  let stats = kernel_stats st ~wid ~alt region in
+  List.iter
+    (fun i ->
+      match i with
+      | Instr.Parallel { level = Instr.Blocks; _ } ->
+          let mode : Exec.mode =
+            if st.trial || not st.config.functional then `Sample st.config.sample_blocks else `All
+          in
+          let offload =
+            match st.config.target.Descriptor.vendor with
+            | Descriptor.Amd ->
+                let tb =
+                  match Backend.find_threads_body region with
+                  | Some _ -> Exec.block_dims_of st.env region |> List.fold_left ( * ) 1
+                  | None -> 1
+                in
+                tb > 0 && stats.Backend.static_shmem / max 1 tb > amd_shared_offload_threshold
+            | Descriptor.Nvidia -> false
+          in
+          st.machine.Exec.shared_as_global <- offload;
+          let result = Exec.launch st.machine ~mode ~env:st.env i in
+          st.machine.Exec.shared_as_global <- false;
+          let shmem =
+            if offload then 0 (* demoted: no occupancy pressure from shared memory *)
+            else stats.Backend.static_shmem
+          in
+          let demand =
+            {
+              Timing.regs_per_thread = stats.Backend.regs_per_thread;
+              shmem_per_block = shmem;
+              ilp = stats.Backend.ilp;
+              mlp = stats.Backend.mlp;
+            }
+          in
+          let breakdown = Timing.estimate st.config.target ~demand result in
+          charge st breakdown.Timing.seconds;
+          if not st.trial then
+            st.records <-
+              {
+                kernel = name;
+                wid;
+                alternative = (if alt >= 0 then Some alt else None);
+                result;
+                stats;
+                breakdown;
+                seconds = breakdown.Timing.seconds;
+              }
+              :: st.records
+      | _ -> exec_host_instr st i)
+    region
+
+(** Magnitude-bucketed signature of a launch site's integer inputs:
+    the timing-driven optimization re-tunes a site when the scale of
+    its launch configuration changes. *)
+and launch_signature st ~wid (body : Instr.block) =
+  let frees =
+    match Hashtbl.find_opt st.freevars_cache wid with
+    | Some f -> f
+    | None ->
+        let f =
+          Instr.free_values body
+          |> List.sort Value.compare
+        in
+        Hashtbl.replace st.freevars_cache wid f;
+        f
+  in
+  let buf = Buffer.create 16 in
+  List.iter
+    (fun v ->
+      match Exec.lookup st.env v with
+      | Exec.UI n ->
+          Buffer.add_string buf (string_of_int (Pgpu_support.Util.ilog2 (abs n + 1)));
+          Buffer.add_char buf '.'
+      | _ -> Buffer.add_char buf '_')
+    frees;
+  Buffer.contents buf
+
+(** Timing-driven optimization: measure every region of an
+    [Alternatives] op once per launch signature (sampled, on scratch
+    copies of the live buffers) and commit to the fastest feasible
+    one. Regions that are infeasible on the target are skipped, which
+    subsumes the static shared-memory pruning at runtime. *)
+and choose_alternative st ~name ~wid ~signature (aid : int) (descs : string list) regions =
+  match Hashtbl.find_opt st.choices (aid, signature) with
+  | Some k -> k
+  | None ->
+      let k =
+        if not st.config.tune then min st.config.fixed_choice (List.length regions - 1)
+        else begin
+          (* trial-run every region on scratch copies of the live
+             buffers; each trial samples the grids and sums the model's
+             launch estimates *)
+          let snap = snapshot_buffers st in
+          let best = ref (-1) and best_t = ref infinity in
+          List.iteri
+            (fun k region ->
+              st.trial <- true;
+              let t =
+                Fun.protect
+                  ~finally:(fun () ->
+                    st.trial <- false;
+                    restore_buffers snap)
+                  (fun () ->
+                    let probe = ref 0. in
+                    try
+                      exec_kernel_region_probe st ~name ~wid ~alt:k region probe;
+                      !probe
+                    with Timing.Infeasible _ | Exec.Device_error _ -> infinity)
+              in
+              if t < !best_t then begin
+                best := k;
+                best_t := t
+              end)
+            regions;
+          if !best < 0 then host_fail "no feasible alternative for kernel %s" name;
+          Logs.debug (fun m ->
+              m "TDO: kernel %s chose alternative %d (%s), %.3g s" name !best
+                (List.nth descs !best) !best_t);
+          !best
+        end
+      in
+      Hashtbl.replace st.choices (aid, signature) k;
+      k
+
+and exec_kernel_region_probe st ~name:_ ~wid ~alt region acc =
+  (* like [exec_kernel_region] but accumulates estimated seconds in
+     [acc]; used for TDO trials *)
+  let stats = kernel_stats st ~wid ~alt region in
+  List.iter
+    (fun i ->
+      match i with
+      | Instr.Parallel { level = Instr.Blocks; _ } ->
+          let result = Exec.launch st.machine ~mode:(`Sample st.config.sample_blocks) ~env:st.env i in
+          let demand =
+            {
+              Timing.regs_per_thread = stats.Backend.regs_per_thread;
+              shmem_per_block = stats.Backend.static_shmem;
+              ilp = stats.Backend.ilp;
+              mlp = stats.Backend.mlp;
+            }
+          in
+          let breakdown = Timing.estimate st.config.target ~demand result in
+          acc := !acc +. breakdown.Timing.seconds
+      | _ -> exec_host_instr st i)
+    region
+
+and exec_wrapper st ~name ~wid (body : Instr.block) =
+  match body with
+  | [ Instr.Alternatives { aid; descs; regions } ] ->
+      let signature =
+        if st.config.tune then launch_signature st ~wid body else ""
+      in
+      let k = choose_alternative st ~name ~wid ~signature aid descs regions in
+      exec_kernel_region st ~name ~wid ~alt:k (List.nth regions k)
+  | _ -> exec_kernel_region st ~name ~wid ~alt:(-1) body
+
+(* ------------------------------------------------------------------ *)
+(* Host control flow                                                   *)
+(* ------------------------------------------------------------------ *)
+
+and exec_host_block st (block : Instr.block) : [ `Fallthrough | `Yield of Exec.rv list | `Yield_while of bool * Exec.rv list | `Return of Exec.rv list ] =
+  let rec go = function
+    | [] -> `Fallthrough
+    | i :: rest -> (
+        match i with
+        | Instr.Yield vs -> `Yield (List.map (lookup st) vs)
+        | Instr.Yield_while (c, vs) -> `Yield_while (as_int st c <> 0, List.map (lookup st) vs)
+        | Instr.Return vs -> `Return (List.map (lookup st) vs)
+        | _ ->
+            exec_host_instr st i;
+            go rest)
+  in
+  go block
+
+and exec_host_instr st (i : Instr.instr) : unit =
+  charge st st.config.host_op_cost;
+  match i with
+  | Instr.Let (v, e) -> bind st v (eval_host_expr st v e)
+  | Instr.Store { mem; idx; v } ->
+      let b = as_buf st mem and k = as_int st idx in
+      if Types.is_float (Types.elem mem.Value.ty) then Memory.set_f b k (as_float st v)
+      else Memory.set_i b k (as_int st v)
+  | Instr.If { cond; results; then_; else_ } -> (
+      let branch = if as_int st cond <> 0 then then_ else else_ in
+      match exec_host_block st branch with
+      | `Yield vs -> List.iter2 (bind st) results vs
+      | `Fallthrough when results = [] -> ()
+      | _ -> host_fail "malformed host if")
+  | Instr.For { iv; lb; ub; step; iter_args; inits; results; body } ->
+      let l0 = as_int st lb and u = as_int st ub and s = as_int st step in
+      if s <= 0 then host_fail "host for loop with non-positive step";
+      List.iter2 (fun a init -> bind st a (lookup st init)) iter_args inits;
+      let k = ref l0 in
+      while !k < u do
+        bind st iv (Exec.UI !k);
+        (match exec_host_block st body with
+        | `Yield vs -> List.iter2 (bind st) iter_args vs
+        | _ -> host_fail "malformed host for");
+        k := !k + s
+      done;
+      List.iter2 (fun r a -> bind st r (lookup st a)) results iter_args
+  | Instr.While { iter_args; inits; results; body } ->
+      List.iter2 (fun a init -> bind st a (lookup st init)) iter_args inits;
+      let continue_ = ref true in
+      while !continue_ do
+        match exec_host_block st body with
+        | `Yield_while (c, vs) ->
+            List.iter2 (bind st) iter_args vs;
+            if not c then continue_ := false
+        | _ -> host_fail "malformed host while"
+      done;
+      List.iter2 (fun r a -> bind st r (lookup st a)) results iter_args
+  | Instr.Alloc { res; space; elt; count } ->
+      bind st res (Exec.UB (Memory.alloc st.machine.Exec.alloc space elt (as_int st count)))
+  | Instr.Free _ -> ()
+  | Instr.Memcpy { dst; src; count } ->
+      let d = as_buf st dst and s = as_buf st src in
+      let n = as_int st count in
+      Memory.copy ~dst:d ~src:s n;
+      let bytes = float_of_int (n * Memory.elt_size d) in
+      let crosses_pcie = d.Memory.space <> s.Memory.space in
+      if crosses_pcie then
+        charge st
+          (st.config.memcpy_overhead
+          +. (bytes /. (st.config.target.Descriptor.h2d_bandwidth_gbs *. 1e9)))
+      else charge st (bytes /. (st.config.target.Descriptor.mem_bandwidth_gbs *. 1e9))
+  | Instr.Gpu_wrapper { wid; name; body } -> exec_wrapper st ~name ~wid body
+  | Instr.Intrinsic { results; name; args } -> eval_intrinsic st results name args
+  | Instr.Alternatives _ -> host_fail "alternatives outside gpu_wrapper"
+  | Instr.Parallel _ | Instr.Barrier _ | Instr.Alloc_shared _ ->
+      host_fail "device construct in host code"
+  | Instr.Yield _ | Instr.Yield_while _ | Instr.Return _ -> host_fail "stray terminator"
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Run function [fname] of module [m] with the given arguments.
+    Returns the function results and the final state (composite time,
+    launch records, buffers still bound in the environment). *)
+let run ?(fname = "main") config (m : Instr.modul) (args : Exec.rv list) =
+  let f = Instr.find_func m fname in
+  if List.length f.Instr.params <> List.length args then
+    host_fail "%s expects %d arguments, got %d" fname (List.length f.Instr.params)
+      (List.length args);
+  let st = create config in
+  List.iter2 (bind st) f.Instr.params args;
+  match exec_host_block st f.Instr.body with
+  | `Return vs -> (vs, st)
+  | _ -> host_fail "%s did not return" fname
+
+(** Launch records in program order. *)
+let records st = List.rev st.records
+
+let composite_seconds st = st.composite
+
+let buffer_contents rv =
+  match rv with
+  | Exec.UB b -> Memory.to_float_list b
+  | _ -> host_fail "expected a buffer result"

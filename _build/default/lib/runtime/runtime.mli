@@ -1,0 +1,58 @@
+(** Host-side runtime: interprets the host portion of a compiled
+    module, launches kernels on the GPU simulator, accounts composite
+    time (host logic + transfers + kernel time — the paper's
+    "composite measurement"), and implements the timing-driven
+    optimization that picks the best [Alternatives] region per launch
+    site (Section VI). *)
+
+open Pgpu_ir
+open Pgpu_gpusim
+module Descriptor = Pgpu_target.Descriptor
+module Backend = Pgpu_target.Backend
+
+type launch_record = {
+  kernel : string;
+  wid : int;
+  alternative : int option;  (** which alternatives region ran *)
+  result : Exec.launch_result;
+  stats : Backend.kernel_stats;
+  breakdown : Timing.breakdown;
+  seconds : float;
+}
+
+type config = {
+  target : Descriptor.t;
+  functional : bool;
+      (** execute every block of every launch (exact outputs); when
+          false, large grids are sampled and only timing is meaningful *)
+  sample_blocks : int;  (** blocks executed per launch when sampling *)
+  tune : bool;  (** timing-driven selection of alternatives *)
+  fixed_choice : int;  (** alternatives region when not tuning *)
+  host_op_cost : float;  (** seconds per interpreted host instruction *)
+  memcpy_overhead : float;  (** fixed seconds per cudaMemcpy *)
+  seed : int;
+}
+
+val default_config : Descriptor.t -> config
+
+type state
+
+exception Host_error of string
+
+(** Deterministic input generation shared with the CPU reference
+    implementations (the [fill_rand] intrinsic's stream). *)
+val rand_array : int -> int -> float array
+
+val rand_int_array : int -> int -> int -> int array
+
+(** Run function [fname] (default ["main"]) with the given arguments;
+    returns the function results and the final state. *)
+val run : ?fname:string -> config -> Instr.modul -> Exec.rv list -> Exec.rv list * state
+
+(** Launch records in program order. *)
+val records : state -> launch_record list
+
+val composite_seconds : state -> float
+
+(** Contents of a buffer-valued result. *)
+val buffer_contents : Exec.rv -> float list

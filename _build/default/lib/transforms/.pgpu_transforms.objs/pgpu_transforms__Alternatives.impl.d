@@ -1,0 +1,1 @@
+lib/transforms/alternatives.ml: Barrier_elim Canonicalize Clone Coarsen Cse Dce Fmt Instr Licm List Option Pgpu_ir Pgpu_target Result

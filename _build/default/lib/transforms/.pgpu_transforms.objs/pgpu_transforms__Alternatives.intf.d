@@ -1,0 +1,1 @@
+lib/transforms/alternatives.mli: Coarsen Fmt Instr Pgpu_ir Pgpu_target Value

@@ -1,0 +1,1 @@
+lib/transforms/barrier_elim.ml: Instr List Pgpu_ir

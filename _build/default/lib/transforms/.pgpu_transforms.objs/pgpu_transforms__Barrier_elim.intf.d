@@ -1,0 +1,1 @@
+lib/transforms/barrier_elim.mli: Pgpu_ir

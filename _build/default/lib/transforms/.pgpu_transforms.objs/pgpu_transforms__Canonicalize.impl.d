@@ -1,0 +1,1 @@
+lib/transforms/canonicalize.ml: Instr List Ops Pgpu_ir Types Value

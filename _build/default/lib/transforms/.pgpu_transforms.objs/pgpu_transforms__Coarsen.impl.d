@@ -1,0 +1,1 @@
+lib/transforms/coarsen.ml: Builder Clone Fmt Instr Interleave List Pgpu_ir Pgpu_support Value

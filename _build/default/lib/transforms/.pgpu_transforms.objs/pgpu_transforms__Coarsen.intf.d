@@ -1,0 +1,1 @@
+lib/transforms/coarsen.mli: Fmt Instr Interleave Pgpu_ir Value

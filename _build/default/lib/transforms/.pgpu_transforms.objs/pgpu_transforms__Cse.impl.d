@@ -1,0 +1,1 @@
+lib/transforms/cse.ml: Fmt Hashtbl Instr List Ops Pgpu_ir Types Value

@@ -1,0 +1,1 @@
+lib/transforms/dce.ml: Instr List Pgpu_ir Value

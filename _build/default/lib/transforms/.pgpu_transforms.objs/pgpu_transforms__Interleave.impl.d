@@ -1,0 +1,1 @@
+lib/transforms/interleave.ml: Array Builder Clone Fmt Instr List Pgpu_ir Value

@@ -1,0 +1,1 @@
+lib/transforms/interleave.mli: Pgpu_ir

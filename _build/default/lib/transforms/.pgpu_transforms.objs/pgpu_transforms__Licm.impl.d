@@ -1,0 +1,1 @@
+lib/transforms/licm.ml: Coarsen Instr List Pgpu_ir Value

@@ -1,0 +1,1 @@
+lib/transforms/pipeline.ml: Alternatives Barrier_elim Canonicalize Coarsen Cse Dce Instr Licm List Pgpu_ir Pgpu_target Verify

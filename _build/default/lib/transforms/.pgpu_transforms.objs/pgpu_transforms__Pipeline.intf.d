@@ -1,0 +1,1 @@
+lib/transforms/pipeline.mli: Alternatives Coarsen Instr Pgpu_ir Pgpu_target

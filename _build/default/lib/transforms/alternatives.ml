@@ -1,0 +1,126 @@
+(** Compile-time multi-versioning with alternative code paths
+    (Section VI).
+
+    Each kernel (gpu_wrapper) region is replicated once per coarsening
+    configuration; every replica is coarsened and cleaned up
+    independently, then filtered through the static decision points:
+
+    - early pruning for static shared-memory usage;
+    - backend statistics: register allocation is run per replica, and
+      replicas that introduce *new* spilling relative to the baseline
+      are discarded;
+    - occupancy feasibility on the target (block size limits).
+
+    Surviving replicas are packed into an [Alternatives] op; the final
+    choice is made by the runtime's timing-driven optimization, or
+    pinned by the [fixed_choice] runtime configuration. *)
+
+open Pgpu_ir
+module Descriptor = Pgpu_target.Descriptor
+module Backend = Pgpu_target.Backend
+module Occupancy = Pgpu_target.Occupancy
+
+type decision =
+  | Kept
+  | Rejected_illegal of string  (** coarsening itself was illegal *)
+  | Rejected_shmem of int  (** bytes demanded *)
+  | Rejected_spill of int  (** new spills *)
+  | Rejected_occupancy of string
+
+type candidate = {
+  spec : Coarsen.spec;
+  desc : string;
+  decision : decision;
+  stats : Backend.kernel_stats option;
+}
+
+let pp_decision ppf = function
+  | Kept -> Fmt.string ppf "kept"
+  | Rejected_illegal m -> Fmt.pf ppf "illegal: %s" m
+  | Rejected_shmem b -> Fmt.pf ppf "rejected: %d B of shared memory" b
+  | Rejected_spill n -> Fmt.pf ppf "rejected: %d new spills" n
+  | Rejected_occupancy m -> Fmt.pf ppf "rejected: %s" m
+
+(** Scalar cleanup run on every replica after coarsening. *)
+let cleanup (region : Instr.block) =
+  region |> Canonicalize.run_block |> Cse.run_block |> Licm.run_block |> Cse.run_block
+  |> Dce.run_block |> Barrier_elim.run_block
+
+(** Static block size of a kernel region if fully constant. *)
+let static_block_size ~const_of region =
+  let r = ref None in
+  Instr.iter_deep
+    (fun i ->
+      match i with
+      | Instr.Parallel { level = Instr.Threads; ubs; _ } ->
+          let dims = List.map const_of ubs in
+          if List.for_all Option.is_some dims then
+            r := Some (List.fold_left (fun acc d -> acc * Option.get d) 1 dims)
+      | _ -> ())
+    region;
+  !r
+
+(** Expand one kernel region into alternatives for the given coarsening
+    specs. The first spec should be the identity so a baseline always
+    survives. Returns the new region together with the pruning report. *)
+let expand (t : Descriptor.t) ?(outer_const = fun _ -> None) ~(specs : Coarsen.spec list)
+    (region : Instr.block) : Instr.block * candidate list =
+  let with_outer local v = match local v with Some n -> Some n | None -> outer_const v in
+  let baseline_stats = Backend.analyze t (cleanup region) in
+  let candidates =
+    List.map
+      (fun spec ->
+        let desc = Fmt.str "%a" Coarsen.pp_spec spec in
+        let fresh = Clone.block region in
+        let const_of = with_outer (Coarsen.const_env [ fresh ]) in
+        match Coarsen.coarsen_region ~const_of spec fresh with
+        | Error m -> ({ spec; desc; decision = Rejected_illegal m; stats = None }, None)
+        | Ok coarsened -> (
+            let coarsened = cleanup coarsened in
+            let stats = Backend.analyze t coarsened in
+            if stats.Backend.static_shmem > t.Descriptor.max_shmem_per_block then
+              ( { spec; desc; decision = Rejected_shmem stats.Backend.static_shmem; stats = Some stats },
+                None )
+            else if stats.Backend.spilled > baseline_stats.Backend.spilled then
+              ( {
+                  spec;
+                  desc;
+                  decision = Rejected_spill (stats.Backend.spilled - baseline_stats.Backend.spilled);
+                  stats = Some stats;
+                },
+                None )
+            else
+              let occ_ok =
+                match
+                  static_block_size ~const_of:(with_outer (Coarsen.const_env [ coarsened ]))
+                    coarsened
+                with
+                | None -> Ok ()
+                | Some threads ->
+                    Result.map_error
+                      (fun e -> Fmt.str "%a" Occupancy.pp_rejection e)
+                      (Occupancy.check t
+                         {
+                           Occupancy.threads_per_block = threads;
+                           regs_per_thread = stats.Backend.regs_per_thread;
+                           shmem_per_block = stats.Backend.static_shmem;
+                         })
+              in
+              match occ_ok with
+              | Error m ->
+                  ({ spec; desc; decision = Rejected_occupancy m; stats = Some stats }, None)
+              | Ok () -> ({ spec; desc; decision = Kept; stats = Some stats }, Some coarsened)))
+      specs
+  in
+  let report = List.map fst candidates in
+  let kept =
+    List.filter_map (fun (c, r) -> Option.map (fun region -> (c.desc, region)) r) candidates
+  in
+  match kept with
+  | [] ->
+      (* always keep the (cleaned) baseline *)
+      (cleanup region, report)
+  | [ (_, only) ] -> (only, report)
+  | _ ->
+      let descs = List.map fst kept and regions = List.map snd kept in
+      ([ Instr.Alternatives { aid = Instr.fresh_region_id (); descs; regions } ], report)

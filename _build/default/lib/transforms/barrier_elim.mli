@@ -1,0 +1,9 @@
+(** Barrier elimination (one of the pre-existing Polygeist parallel
+    optimizations the pipeline builds on, Section III of the paper):
+    removes barriers whose ordering obligation is vacuous — no memory
+    access since the previous synchronization point, or nothing after
+    them to protect. *)
+
+val run_block : Pgpu_ir.Instr.block -> Pgpu_ir.Instr.block
+val run_func : Pgpu_ir.Instr.func -> Pgpu_ir.Instr.func
+val run_modul : Pgpu_ir.Instr.modul -> Pgpu_ir.Instr.modul

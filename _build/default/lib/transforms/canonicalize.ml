@@ -1,0 +1,177 @@
+(** Canonicalization: constant folding, algebraic simplification, copy
+    propagation, constant-condition control-flow elimination, and
+    collapsing of consecutive barriers. *)
+
+open Pgpu_ir
+
+type env = {
+  repl : Value.t Value.Tbl.t;  (** copy-propagation substitution *)
+  consts : Instr.const Value.Tbl.t;
+}
+
+let rec resolve env v =
+  match Value.Tbl.find_opt env.repl v with Some v' -> resolve env v' | None -> v
+
+let const_of env v = Value.Tbl.find_opt env.consts (resolve env v)
+
+let int_const env v = match const_of env v with Some (Instr.Ci n) -> Some n | _ -> None
+
+let rewrite_expr env (e : Instr.expr) : Instr.expr =
+  let r = resolve env in
+  match e with
+  | Instr.Const _ -> e
+  | Instr.Binop (op, a, b) -> Instr.Binop (op, r a, r b)
+  | Instr.Unop (op, a) -> Instr.Unop (op, r a)
+  | Instr.Cmp (op, a, b) -> Instr.Cmp (op, r a, r b)
+  | Instr.Select (c, a, b) -> Instr.Select (r c, r a, r b)
+  | Instr.Cast a -> Instr.Cast (r a)
+  | Instr.Load { mem; idx } -> Instr.Load { mem = r mem; idx = r idx }
+
+(** Try to simplify a pure expression; returns either a replacement
+    value, a constant, or the (rewritten) expression. *)
+let simplify env (res : Value.t) (e : Instr.expr) :
+    [ `Value of Value.t | `Const of Instr.const | `Expr of Instr.expr ] =
+  let e = rewrite_expr env e in
+  let is_float = Types.is_float res.Value.ty in
+  match e with
+  | Instr.Const c -> `Const c
+  | Instr.Binop (op, a, b) -> (
+      match (const_of env a, const_of env b) with
+      | Some (Instr.Ci x), Some (Instr.Ci y) when not is_float ->
+          `Const (Instr.Ci (Ops.eval_int_binop op x y))
+      | Some (Instr.Cf x), Some (Instr.Cf y) when is_float ->
+          `Const (Instr.Cf (Ops.eval_float_binop op x y))
+      | _, Some (Instr.Ci 0) when op = Ops.Add || op = Ops.Sub || op = Ops.Shl || op = Ops.Shr
+        ->
+          `Value a
+      | Some (Instr.Ci 0), Some _ when op = Ops.Add -> `Value b
+      | Some (Instr.Ci 0), _ when op = Ops.Add -> `Value b
+      | _, Some (Instr.Ci 1) when op = Ops.Mul || op = Ops.Div -> `Value a
+      | Some (Instr.Ci 1), _ when op = Ops.Mul -> `Value b
+      | _, Some (Instr.Ci 0) when op = Ops.Mul -> `Const (Instr.Ci 0)
+      | Some (Instr.Ci 0), _ when op = Ops.Mul || op = Ops.Div || op = Ops.Rem ->
+          `Const (Instr.Ci 0)
+      | _ -> `Expr e)
+  | Instr.Unop (op, a) -> (
+      match const_of env a with
+      | Some (Instr.Ci x) when not is_float -> `Const (Instr.Ci (Ops.eval_int_unop op x))
+      | Some (Instr.Cf x) when is_float -> `Const (Instr.Cf (Ops.eval_float_unop op x))
+      | _ -> `Expr e)
+  | Instr.Cmp (op, a, b) -> (
+      match (const_of env a, const_of env b) with
+      | Some (Instr.Ci x), Some (Instr.Ci y) ->
+          `Const (Instr.Ci (if Ops.eval_int_cmp op x y then 1 else 0))
+      | Some (Instr.Cf x), Some (Instr.Cf y) ->
+          `Const (Instr.Ci (if Ops.eval_float_cmp op x y then 1 else 0))
+      | _ ->
+          (* x ? x folds only for integers (NaN breaks it for floats) *)
+          if Value.equal (resolve env a) (resolve env b) && Types.is_int a.Value.ty then
+            match op with
+            | Ops.Eq | Ops.Le | Ops.Ge -> `Const (Instr.Ci 1)
+            | Ops.Ne | Ops.Lt | Ops.Gt -> `Const (Instr.Ci 0)
+          else `Expr e)
+  | Instr.Select (c, a, b) -> (
+      match const_of env c with
+      | Some (Instr.Ci n) -> `Value (if n <> 0 then a else b)
+      | _ -> if Value.equal (resolve env a) (resolve env b) then `Value a else `Expr e)
+  | Instr.Cast a ->
+      let a = resolve env a in
+      if Types.equal a.Value.ty res.Value.ty then `Value a
+      else (
+        match const_of env a with
+        | Some (Instr.Ci n) ->
+            if is_float then `Const (Instr.Cf (float_of_int n)) else `Const (Instr.Ci n)
+        | Some (Instr.Cf f) ->
+            if is_float then `Const (Instr.Cf f)
+            else `Const (Instr.Ci (int_of_float f))
+        | None -> `Expr e)
+  | Instr.Load _ -> `Expr e
+
+let rec canon_block env (block : Instr.block) : Instr.block =
+  let out = ref [] in
+  let push i = out := i :: !out in
+  List.iter
+    (fun (i : Instr.instr) ->
+      let r = resolve env in
+      match i with
+      | Instr.Let (v, e) -> (
+          match simplify env v e with
+          | `Value u -> Value.Tbl.replace env.repl v u
+          | `Const c ->
+              Value.Tbl.replace env.consts v c;
+              push (Instr.Let (v, Instr.Const c))
+          | `Expr e -> push (Instr.Let (v, e)))
+      | Instr.Store { mem; idx; v } -> push (Instr.Store { mem = r mem; idx = r idx; v = r v })
+      | Instr.If { cond; results; then_; else_ } -> (
+          match int_const env cond with
+          | Some n ->
+              (* splice the taken branch inline *)
+              let branch = if n <> 0 then then_ else else_ in
+              let body = canon_block env branch in
+              let rec emit = function
+                | [] -> ()
+                | [ Instr.Yield vs ] ->
+                    List.iter2 (fun rv v -> Value.Tbl.replace env.repl rv (r v)) results vs
+                | x :: rest ->
+                    push x;
+                    emit rest
+              in
+              emit body
+          | None ->
+              let then' = canon_block env then_ in
+              let else' = canon_block env else_ in
+              push (Instr.If { cond = r cond; results; then_ = then'; else_ = else' }))
+      | Instr.For { iv; lb; ub; step; iter_args; inits; results; body } -> (
+          let lb' = r lb and ub' = r ub and step' = r step in
+          match (int_const env lb, int_const env ub) with
+          | Some l, Some u when l >= u ->
+              (* zero-trip loop: results are the inits *)
+              List.iter2 (fun rv init -> Value.Tbl.replace env.repl rv (r init)) results inits
+          | _ ->
+              let body' = canon_block env body in
+              push
+                (Instr.For
+                   {
+                     iv;
+                     lb = lb';
+                     ub = ub';
+                     step = step';
+                     iter_args;
+                     inits = List.map r inits;
+                     results;
+                     body = body';
+                   }))
+      | Instr.While ({ inits; body; _ } as w) ->
+          let body' = canon_block env body in
+          push (Instr.While { w with inits = List.map r inits; body = body' })
+      | Instr.Parallel ({ ubs; body; _ } as p) ->
+          let body' = canon_block env body in
+          push (Instr.Parallel { p with ubs = List.map r ubs; body = body' })
+      | Instr.Barrier { scope } -> (
+          (* collapse consecutive barriers of the same scope *)
+          match !out with
+          | Instr.Barrier { scope = s } :: _ when s = scope -> ()
+          | _ -> push i)
+      | Instr.Alloc_shared _ -> push i
+      | Instr.Alloc ({ count; _ } as a) -> push (Instr.Alloc { a with count = r count })
+      | Instr.Free v -> push (Instr.Free (r v))
+      | Instr.Memcpy { dst; src; count } ->
+          push (Instr.Memcpy { dst = r dst; src = r src; count = r count })
+      | Instr.Gpu_wrapper ({ body; _ } as w) ->
+          push (Instr.Gpu_wrapper { w with body = canon_block env body })
+      | Instr.Alternatives ({ regions; _ } as a) ->
+          push (Instr.Alternatives { a with regions = List.map (canon_block env) regions })
+      | Instr.Intrinsic ({ args; _ } as c) ->
+          push (Instr.Intrinsic { c with args = List.map r args })
+      | Instr.Yield vs -> push (Instr.Yield (List.map r vs))
+      | Instr.Yield_while (c, vs) -> push (Instr.Yield_while (r c, List.map r vs))
+      | Instr.Return vs -> push (Instr.Return (List.map r vs)))
+    block;
+  List.rev !out
+
+let run_block block =
+  let env = { repl = Value.Tbl.create 64; consts = Value.Tbl.create 64 } in
+  canon_block env block
+
+let run_func (f : Instr.func) = { f with Instr.body = run_block f.Instr.body }
+let run_modul (m : Instr.modul) = { Instr.funcs = List.map run_func m.Instr.funcs }

@@ -1,0 +1,8 @@
+(** Canonicalization: constant folding, algebraic simplification, copy
+    propagation, constant-condition control-flow elimination
+    (branch splicing, zero-trip loop removal), and collapsing of
+    consecutive barriers. *)
+
+val run_block : Pgpu_ir.Instr.block -> Pgpu_ir.Instr.block
+val run_func : Pgpu_ir.Instr.func -> Pgpu_ir.Instr.func
+val run_modul : Pgpu_ir.Instr.modul -> Pgpu_ir.Instr.modul

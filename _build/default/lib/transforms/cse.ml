@@ -1,0 +1,155 @@
+(** Common subexpression elimination, including redundant-load
+    elimination and store-to-load forwarding.
+
+    Load CSE is what lets block coarsening deduplicate global loads of
+    tiles shared between merged blocks (the L2→L1 traffic reduction of
+    Table II): after unroll-and-interleave, the copies of such loads
+    have identical operands and no intervening stores or barriers, so
+    they fold into one.
+
+    Value tables are scoped per region: definitions made inside a
+    nested region do not dominate code after it and are discarded; an
+    effect (store, barrier, memcpy) inside a nested region invalidates
+    the parent's load table. *)
+
+open Pgpu_ir
+
+type env = {
+  repl : Value.t Value.Tbl.t;  (** global replacement map *)
+  pure : (string, Value.t) Hashtbl.t;  (** expression key -> value *)
+  loads : (string, Value.t) Hashtbl.t;  (** (mem, idx) key -> known contents *)
+}
+
+let rec resolve env v =
+  match Value.Tbl.find_opt env.repl v with Some v' -> resolve env v' | None -> v
+
+(** Structural key of a pure expression after use-rewriting; operand
+    order is normalized for commutative operators. *)
+let key_of env (res : Value.t) (e : Instr.expr) =
+  let id v = (resolve env v).Value.id in
+  match e with
+  | Instr.Const (Instr.Ci n) -> Fmt.str "ci:%a:%d" Types.pp res.Value.ty n
+  | Instr.Const (Instr.Cf f) -> Fmt.str "cf:%a:%h" Types.pp res.Value.ty f
+  | Instr.Binop (op, a, b) ->
+      let x = id a and y = id b in
+      let x, y = if Ops.commutative op && y < x then (y, x) else (x, y) in
+      Fmt.str "b:%a:%a:%d:%d" Types.pp res.Value.ty Ops.pp_binop op x y
+  | Instr.Unop (op, a) -> Fmt.str "u:%a:%a:%d" Types.pp res.Value.ty Ops.pp_unop op (id a)
+  | Instr.Cmp (op, a, b) -> Fmt.str "c:%a:%d:%d" Ops.pp_cmpop op (id a) (id b)
+  | Instr.Select (c, a, b) -> Fmt.str "s:%d:%d:%d" (id c) (id a) (id b)
+  | Instr.Cast a -> Fmt.str "cv:%a:%d" Types.pp res.Value.ty (id a)
+  | Instr.Load _ -> assert false
+
+let load_key env mem idx = Fmt.str "%d[%d]" (resolve env mem).Value.id (resolve env idx).Value.id
+
+let rewrite_expr env (e : Instr.expr) : Instr.expr =
+  let r = resolve env in
+  match e with
+  | Instr.Const _ -> e
+  | Instr.Binop (op, a, b) -> Instr.Binop (op, r a, r b)
+  | Instr.Unop (op, a) -> Instr.Unop (op, r a)
+  | Instr.Cmp (op, a, b) -> Instr.Cmp (op, r a, r b)
+  | Instr.Select (c, a, b) -> Instr.Select (r c, r a, r b)
+  | Instr.Cast a -> Instr.Cast (r a)
+  | Instr.Load { mem; idx } -> Instr.Load { mem = r mem; idx = r idx }
+
+(** Process a block. Returns the rewritten block and whether it may
+    have changed memory (or synchronized), which kills load knowledge
+    in the enclosing scope. *)
+let rec cse_block env (block : Instr.block) : Instr.block * bool =
+  let out = ref [] in
+  let killed = ref false in
+  let push i = out := i :: !out in
+  let kill_loads () =
+    Hashtbl.reset env.loads;
+    killed := true
+  in
+  (* run a nested region with scoped copies of the tables *)
+  let scoped blk =
+    let env' = { env with pure = Hashtbl.copy env.pure; loads = Hashtbl.copy env.loads } in
+    let blk', k = cse_block env' blk in
+    if k then kill_loads ();
+    blk'
+  in
+  List.iter
+    (fun (i : Instr.instr) ->
+      let r = resolve env in
+      match i with
+      | Instr.Let (v, (Instr.Load { mem; idx } as e)) -> (
+          let e = rewrite_expr env e in
+          let mem, idx = match e with Instr.Load { mem; idx } -> (mem, idx) | _ -> (mem, idx) in
+          let k = load_key env mem idx in
+          match Hashtbl.find_opt env.loads k with
+          | Some u when Types.equal u.Value.ty v.Value.ty -> Value.Tbl.replace env.repl v u
+          | Some _ | None ->
+              Hashtbl.replace env.loads k v;
+              push (Instr.Let (v, e)))
+      | Instr.Let (v, e) -> (
+          let e = rewrite_expr env e in
+          let k = key_of env v e in
+          match Hashtbl.find_opt env.pure k with
+          | Some u -> Value.Tbl.replace env.repl v u
+          | None ->
+              Hashtbl.replace env.pure k v;
+              push (Instr.Let (v, e)))
+      | Instr.Store { mem; idx; v } ->
+          let mem = r mem and idx = r idx and v = r v in
+          kill_loads ();
+          (* store-to-load forwarding: the stored value is now known *)
+          Hashtbl.replace env.loads (load_key env mem idx) v;
+          push (Instr.Store { mem; idx; v })
+      | Instr.Barrier _ ->
+          kill_loads ();
+          push i
+      | Instr.If ({ cond; then_; else_; _ } as f) ->
+          let then' = scoped then_ in
+          let else' = scoped else_ in
+          push (Instr.If { f with cond = r cond; then_ = then'; else_ = else' })
+      | Instr.For ({ lb; ub; step; inits; body; _ } as f) ->
+          let body' = scoped body in
+          push
+            (Instr.For
+               {
+                 f with
+                 lb = r lb;
+                 ub = r ub;
+                 step = r step;
+                 inits = List.map r inits;
+                 body = body';
+               })
+      | Instr.While ({ inits; body; _ } as w) ->
+          let body' = scoped body in
+          push (Instr.While { w with inits = List.map r inits; body = body' })
+      | Instr.Parallel ({ ubs; body; _ } as p) ->
+          let body' = scoped body in
+          push (Instr.Parallel { p with ubs = List.map r ubs; body = body' })
+      | Instr.Alloc_shared _ -> push i
+      | Instr.Alloc ({ count; _ } as a) -> push (Instr.Alloc { a with count = r count })
+      | Instr.Free v -> push (Instr.Free (r v))
+      | Instr.Memcpy { dst; src; count } ->
+          kill_loads ();
+          push (Instr.Memcpy { dst = r dst; src = r src; count = r count })
+      | Instr.Gpu_wrapper ({ body; _ } as w) ->
+          let body' = scoped body in
+          push (Instr.Gpu_wrapper { w with body = body' })
+      | Instr.Alternatives ({ regions; _ } as a) ->
+          let regions' = List.map scoped regions in
+          kill_loads ();
+          push (Instr.Alternatives { a with regions = regions' })
+      | Instr.Intrinsic ({ args; _ } as c) ->
+          kill_loads ();
+          push (Instr.Intrinsic { c with args = List.map r args })
+      | Instr.Yield vs -> push (Instr.Yield (List.map r vs))
+      | Instr.Yield_while (c, vs) -> push (Instr.Yield_while (r c, List.map r vs))
+      | Instr.Return vs -> push (Instr.Return (List.map r vs)))
+    block;
+  (List.rev !out, !killed)
+
+let run_block block =
+  let env =
+    { repl = Value.Tbl.create 256; pure = Hashtbl.create 256; loads = Hashtbl.create 64 }
+  in
+  fst (cse_block env block)
+
+let run_func (f : Instr.func) = { f with Instr.body = run_block f.Instr.body }
+let run_modul (m : Instr.modul) = { Instr.funcs = List.map run_func m.Instr.funcs }

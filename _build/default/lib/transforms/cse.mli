@@ -1,0 +1,14 @@
+(** Common subexpression elimination, including redundant-load
+    elimination and store-to-load forwarding.
+
+    Load CSE is what lets block coarsening deduplicate global loads of
+    tiles shared between merged blocks (the L2→L1 traffic reduction of
+    the paper's Table II): after unroll-and-interleave, the copies of
+    such loads have identical operands and no intervening stores or
+    barriers, so they fold into one. Value tables are scoped per
+    region; effects inside a nested region invalidate the enclosing
+    load knowledge. *)
+
+val run_block : Pgpu_ir.Instr.block -> Pgpu_ir.Instr.block
+val run_func : Pgpu_ir.Instr.func -> Pgpu_ir.Instr.func
+val run_modul : Pgpu_ir.Instr.modul -> Pgpu_ir.Instr.modul

@@ -1,0 +1,97 @@
+(** Dead code elimination.
+
+    Removes unused pure definitions, unused loads, unused shared-memory
+    allocations, and side-effect-free control flow whose results are
+    unused. Runs to a fixpoint so that chains of dead definitions
+    disappear — important after unroll-and-interleave, which leaves
+    behind the replicated index arithmetic that CSE already merged. *)
+
+open Pgpu_ir
+
+(** Does this block (deeply) perform any memory write, synchronization
+    or host effect? Loads are not effects for removal purposes. *)
+let rec has_effect_block b = List.exists has_effect b
+
+and has_effect (i : Instr.instr) =
+  match i with
+  | Instr.Let _ -> false
+  | Instr.Store _ | Instr.Barrier _ | Instr.Alloc _ | Instr.Free _ | Instr.Memcpy _
+  | Instr.Intrinsic _ | Instr.Gpu_wrapper _ | Instr.Alternatives _ ->
+      true
+  | Instr.Alloc_shared _ -> false (* removable if unused *)
+  | Instr.If { then_; else_; _ } -> has_effect_block then_ || has_effect_block else_
+  | Instr.For { body; _ } | Instr.While { body; _ } | Instr.Parallel { body; _ } ->
+      has_effect_block body
+  | Instr.Yield _ | Instr.Yield_while _ | Instr.Return _ -> false
+
+let collect_uses (block : Instr.block) =
+  let used = Value.Tbl.create 256 in
+  Instr.iter_deep
+    (fun i -> List.iter (fun v -> Value.Tbl.replace used v ()) (Instr.direct_uses i))
+    block;
+  used
+
+(** One sweep; returns the swept block and whether anything changed. *)
+let sweep (top : Instr.block) : Instr.block * bool =
+  let used = collect_uses top in
+  let is_used v = Value.Tbl.mem used v in
+  let changed = ref false in
+  let rec go_block b = List.filter_map go_instr b
+  and go_instr (i : Instr.instr) : Instr.instr option =
+    match i with
+    | Instr.Let (v, _) when not (is_used v) ->
+        changed := true;
+        None
+    | Instr.Alloc_shared { res; _ } when not (is_used res) ->
+        changed := true;
+        None
+    | Instr.If ({ results; then_; else_; _ } as f) ->
+        if
+          (not (List.exists is_used results))
+          && (not (has_effect_block then_))
+          && not (has_effect_block else_)
+        then begin
+          changed := true;
+          None
+        end
+        else Some (Instr.If { f with then_ = go_block then_; else_ = go_block else_ })
+    | Instr.For ({ results; body; _ } as f) ->
+        if (not (List.exists is_used results)) && not (has_effect_block body) then begin
+          changed := true;
+          None
+        end
+        else Some (Instr.For { f with body = go_block body })
+    | Instr.While ({ results; body; _ } as w) ->
+        if (not (List.exists is_used results)) && not (has_effect_block body) then begin
+          changed := true;
+          None
+        end
+        else Some (Instr.While { w with body = go_block body })
+    | Instr.Parallel ({ level = Instr.Threads; body; _ } as p) ->
+        if not (has_effect_block body) then begin
+          changed := true;
+          None
+        end
+        else Some (Instr.Parallel { p with body = go_block body })
+    | Instr.Parallel ({ level = Instr.Blocks; body; _ } as p) ->
+        (* the grid-level loop anchors the gpu_wrapper; never removed *)
+        Some (Instr.Parallel { p with body = go_block body })
+    | Instr.Gpu_wrapper ({ body; _ } as w) -> Some (Instr.Gpu_wrapper { w with body = go_block body })
+    | Instr.Alternatives ({ regions; _ } as a) ->
+        Some (Instr.Alternatives { a with regions = List.map go_block regions })
+    | i -> Some i
+  in
+  let b = go_block top in
+  (b, !changed)
+
+let run_block block =
+  let rec fix b n =
+    if n = 0 then b
+    else
+      let b', changed = sweep b in
+      if changed then fix b' (n - 1) else b'
+  in
+  fix block 16
+
+let run_func (f : Instr.func) = { f with Instr.body = run_block f.Instr.body }
+let run_modul (m : Instr.modul) = { Instr.funcs = List.map run_func m.Instr.funcs }

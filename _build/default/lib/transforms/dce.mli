@@ -1,0 +1,9 @@
+(** Dead code elimination: removes unused pure definitions, unused
+    loads, unused shared-memory allocations, and side-effect-free
+    control flow whose results are unused, to a fixpoint. Run after
+    coarsening to clear the replicated index arithmetic CSE already
+    merged. *)
+
+val run_block : Pgpu_ir.Instr.block -> Pgpu_ir.Instr.block
+val run_func : Pgpu_ir.Instr.func -> Pgpu_ir.Instr.func
+val run_modul : Pgpu_ir.Instr.modul -> Pgpu_ir.Instr.modul

@@ -1,0 +1,257 @@
+(** Nested parallel loop unroll-and-interleave (Section IV).
+
+    Unrolling a parallel loop by a factor [f] replaces every statement
+    of its body with [f] interleaved copies, one per unrolled
+    iteration. Because a parallel loop imposes no order on side
+    effects *between* iterations, copies of each statement may be
+    grouped together — the "interleave" of unroll-and-interleave,
+    conceptually similar to vectorization (Fig. 7 of the paper).
+
+    Nested control flow is unroll-and-jammed when its condition or
+    bounds are identical across the copies, and duplicated otherwise
+    (Figs. 8 and 9). Barrier semantics decide legality (Fig. 10):
+
+    - a barrier whose copies are interleaved becomes consecutive
+      barriers, which collapse into one — always legal;
+    - duplicating control flow that contains a barrier is only legal
+      if the parallel loop the barrier synchronizes is duplicated with
+      it; otherwise the transformation is rejected.
+
+    Statements whose operands are identical across copies and that are
+    pure are emitted once and shared — this is what makes coarsened
+    kernels amortize index arithmetic and, for block coarsening,
+    deduplicate loads of tiles shared between merged blocks (after the
+    load-CSE pass). *)
+
+open Pgpu_ir
+
+exception Illegal of string
+
+let illegal fmt = Fmt.kstr (fun s -> raise (Illegal s)) fmt
+
+(** How an unrolled copy [j] of induction variable [iv] is rebuilt from
+    the coarsened variable [iv']:
+    - [Blocked]: [iv' * f + j] — merges adjacent iterations; the
+      default for block coarsening (preserves per-block locality,
+      Fig. 11 bottom);
+    - [Cyclic]: [iv' + j * new_ub] — keeps unit-stride lanes adjacent;
+      the coalescing-friendly default for thread coarsening (Fig. 11
+      middle). *)
+type mapping = Blocked | Cyclic
+
+type ictx = { f : int; subst : Clone.subst array }
+
+let lookup_j ctx j v = Clone.lookup ctx.subst.(j) v
+
+let is_copy_uniform ctx v =
+  let v0 = lookup_j ctx 0 v in
+  let rec go j = j >= ctx.f || (Value.equal (lookup_j ctx j v) v0 && go (j + 1)) in
+  go 1
+
+let bind_all ctx v v' = Array.iter (fun s -> Clone.bind s v v') ctx.subst
+let bind_pid_all ctx pid pid' = Array.iter (fun s -> Clone.bind_pid s pid pid') ctx.subst
+
+(** All parallel-loop ids defined inside an instruction (including the
+    instruction itself). *)
+let inner_pids i =
+  let acc = ref [] in
+  (match i with Instr.Parallel { pid; _ } -> acc := [ pid ] | _ -> ());
+  List.iter
+    (fun (_, r) ->
+      Instr.iter_deep
+        (fun x -> match x with Instr.Parallel { pid; _ } -> acc := pid :: !acc | _ -> ())
+        r)
+    (Instr.regions i);
+  !acc
+
+(** Duplicating [i] is legal only if every barrier inside synchronizes
+    a parallel loop that is itself inside [i]. *)
+let check_duplication_legal i =
+  let pids = inner_pids i in
+  List.iter
+    (fun (_, r) ->
+      Instr.iter_deep
+        (fun x ->
+          match x with
+          | Instr.Barrier { scope } when not (List.mem scope pids) ->
+              illegal
+                "cannot unroll: duplicating control flow would duplicate a barrier that \
+                 synchronizes an outer parallel loop (#%d)"
+                scope
+          | _ -> ())
+        r)
+    (Instr.regions i)
+
+(** Per-copy freshened results for region-carrying ops; returns the
+    concatenated result list in (copy-major, result-minor) order. *)
+let fresh_results ctx (results : Value.t list) =
+  List.concat
+    (List.init ctx.f (fun j ->
+         List.map
+           (fun (r : Value.t) ->
+             let r' = Value.rebirth r in
+             Clone.bind ctx.subst.(j) r r';
+             r')
+           results))
+
+let concat_uses ctx vs = List.concat (List.init ctx.f (fun j -> List.map (lookup_j ctx j) vs))
+
+let rec interleave_block ctx (block : Instr.block) : Instr.block =
+  let out = ref [] in
+  List.iter (fun i -> emit ctx out i) block;
+  List.rev !out
+
+and emit ctx out (i : Instr.instr) : unit =
+  let push x = out := x :: !out in
+  match i with
+  | Instr.Let (v, _)
+    when Instr.is_pure i && List.for_all (is_copy_uniform ctx) (Instr.direct_uses i) ->
+      (* identical in every copy: emit once and share *)
+      let i0 = Clone.clone_instr ctx.subst.(0) i in
+      let v0 = lookup_j ctx 0 v in
+      for j = 1 to ctx.f - 1 do
+        Clone.bind ctx.subst.(j) v v0
+      done;
+      push i0
+  | Instr.Let _ | Instr.Store _ | Instr.Alloc_shared _ ->
+      (* leaf statements: grouped copies; shared-memory allocations are
+         duplicated, which is how block coarsening combines the shared
+         memory of the merged blocks (Section V-C) *)
+      for j = 0 to ctx.f - 1 do
+        push (Clone.clone_instr ctx.subst.(j) i)
+      done
+  | Instr.Barrier { scope } ->
+      (* the interleaved copies of a barrier are consecutive: collapse *)
+      push (Instr.Barrier { scope = Clone.lookup_pid ctx.subst.(0) scope })
+  | Instr.If { cond; results; then_; else_ } ->
+      if is_copy_uniform ctx cond then begin
+        let cond' = lookup_j ctx 0 cond in
+        let then' = interleave_block ctx then_ in
+        let else' = interleave_block ctx else_ in
+        let results' = fresh_results ctx results in
+        push (Instr.If { cond = cond'; results = results'; then_ = then'; else_ = else' })
+      end
+      else duplicate ctx out i
+  | Instr.For { iv; lb; ub; step; iter_args; inits; results; body } ->
+      if
+        is_copy_uniform ctx lb && is_copy_uniform ctx ub && is_copy_uniform ctx step
+      then begin
+        (* unroll-and-jam: one loop, interleaved body *)
+        let iv' = Value.rebirth iv in
+        bind_all ctx iv iv';
+        let inits' = concat_uses ctx inits in
+        let iter_args' =
+          List.concat
+            (List.init ctx.f (fun j ->
+                 List.map
+                   (fun (a : Value.t) ->
+                     let a' = Value.rebirth a in
+                     Clone.bind ctx.subst.(j) a a';
+                     a')
+                   iter_args))
+        in
+        let body' = interleave_block ctx body in
+        let results' = fresh_results ctx results in
+        push
+          (Instr.For
+             {
+               iv = iv';
+               lb = lookup_j ctx 0 lb;
+               ub = lookup_j ctx 0 ub;
+               step = lookup_j ctx 0 step;
+               iter_args = iter_args';
+               inits = inits';
+               results = results';
+               body = body';
+             })
+      end
+      else duplicate ctx out i
+  | Instr.While _ ->
+      (* dynamic trip count: treat as a single statement (Section IV-A) *)
+      duplicate ctx out i
+  | Instr.Parallel { pid; level; ivs; ubs; body } ->
+      if List.for_all (is_copy_uniform ctx) ubs then begin
+        let pid' = Instr.fresh_region_id () in
+        bind_pid_all ctx pid pid';
+        let ivs' =
+          List.map
+            (fun (iv : Value.t) ->
+              let iv' = Value.rebirth iv in
+              bind_all ctx iv iv';
+              iv')
+            ivs
+        in
+        let body' = interleave_block ctx body in
+        push
+          (Instr.Parallel
+             { pid = pid'; level; ivs = ivs'; ubs = List.map (lookup_j ctx 0) ubs; body = body' })
+      end
+      else duplicate ctx out i
+  | Instr.Yield vs -> push (Instr.Yield (concat_uses ctx vs))
+  | Instr.Yield_while _ ->
+      (* only occurs inside While bodies, which are duplicated wholesale *)
+      illegal "yield_while outside a duplicated while"
+  | Instr.Alloc _ | Instr.Free _ | Instr.Memcpy _ | Instr.Intrinsic _ | Instr.Gpu_wrapper _
+  | Instr.Alternatives _ | Instr.Return _ ->
+      illegal "host-side construct inside a parallel loop body"
+
+and duplicate ctx out i =
+  check_duplication_legal i;
+  for j = 0 to ctx.f - 1 do
+    out := Clone.clone_instr ctx.subst.(j) i :: !out
+  done
+
+(** Unroll dimension [dim] of the parallel loop [p] by [factor] with
+    the given index [mapping]. Returns [(prefix, p')]: host-side
+    instructions computing the new upper bound, and the transformed
+    parallel loop. The upper bound of [dim] must be divisible by
+    [factor] for correctness of the main loop; callers either check
+    divisibility statically (thread coarsening) or emit an epilogue for
+    the remainder (block coarsening).
+
+    @raise Illegal when barrier semantics cannot be preserved. *)
+let unroll_parallel ~(mapping : mapping) ~dim ~factor (p : Instr.instr) :
+    Instr.block * Instr.instr =
+  match p with
+  | Instr.Parallel { pid; level; ivs; ubs; body } ->
+      if factor <= 1 then ([], p)
+      else begin
+        if dim < 0 || dim >= List.length ivs then illegal "unroll: dimension out of range";
+        let prefix = Builder.create () in
+        let ub_d = List.nth ubs dim in
+        let cf = Builder.const_i prefix ~ty:ub_d.Value.ty factor in
+        let new_ub = Builder.div_ prefix ub_d cf in
+        let ctx = { f = factor; subst = Array.init factor (fun _ -> Clone.create_subst ()) } in
+        let pid' = Instr.fresh_region_id () in
+        bind_pid_all ctx pid pid';
+        let ivs' =
+          List.mapi
+            (fun k (iv : Value.t) ->
+              let iv' = Value.rebirth iv in
+              if k <> dim then bind_all ctx iv iv';
+              iv')
+            ivs
+        in
+        let iv_d = List.nth ivs dim in
+        let iv_d' = List.nth ivs' dim in
+        (* per-copy induction variable reconstruction *)
+        let header = Builder.create () in
+        for j = 0 to factor - 1 do
+          let cj = Builder.const_i header ~ty:iv_d.Value.ty j in
+          let iv_j =
+            match mapping with
+            | Blocked ->
+                let cfb = Builder.const_i header ~ty:iv_d.Value.ty factor in
+                let base = Builder.mul_ header iv_d' cfb in
+                Builder.add_ header base cj
+            | Cyclic ->
+                let off = Builder.mul_ header cj new_ub in
+                Builder.add_ header iv_d' off
+          in
+          Clone.bind ctx.subst.(j) iv_d iv_j
+        done;
+        let body' = Builder.finish header @ interleave_block ctx body in
+        let ubs' = List.mapi (fun k ub -> if k = dim then new_ub else ub) ubs in
+        (Builder.finish prefix, Instr.Parallel { pid = pid'; level; ivs = ivs'; ubs = ubs'; body = body' })
+      end
+  | _ -> illegal "unroll_parallel expects a parallel loop"

@@ -1,0 +1,40 @@
+(** Nested parallel loop unroll-and-interleave (Section IV of the
+    paper).
+
+    Unrolling a parallel loop by a factor [f] replaces every statement
+    of its body with [f] interleaved copies, one per unrolled
+    iteration; because a parallel loop imposes no cross-iteration side
+    effect order, the copies of each statement may be grouped
+    (Fig. 7). Nested control flow is unroll-and-jammed when its
+    condition or bounds are identical across the copies and duplicated
+    otherwise (Figs. 8–9); barrier semantics decide legality
+    (Fig. 10): interleaved barrier copies collapse to one, while
+    duplicating control flow that contains a barrier synchronizing an
+    *outer* parallel loop is rejected. *)
+
+exception Illegal of string
+
+(** How an unrolled copy [j] of induction variable [iv] is rebuilt from
+    the coarsened variable [iv']:
+    - [Blocked]: [iv' * f + j] — merges adjacent iterations; the
+      default for block coarsening (Fig. 11, bottom);
+    - [Cyclic]: [iv' + j * new_ub] — keeps unit-stride lanes adjacent;
+      the coalescing-friendly default for thread coarsening (Fig. 11,
+      middle). *)
+type mapping = Blocked | Cyclic
+
+(** [unroll_parallel ~mapping ~dim ~factor p] unrolls dimension [dim]
+    of the parallel loop [p] by [factor]. Returns [(prefix, p')]: host
+    instructions computing the new upper bound, and the transformed
+    loop. The upper bound must be divisible by the factor for the main
+    loop to cover the space; callers either check divisibility
+    statically (thread coarsening) or emit an epilogue for the
+    remainder (block coarsening).
+
+    @raise Illegal when barrier semantics cannot be preserved. *)
+val unroll_parallel :
+  mapping:mapping ->
+  dim:int ->
+  factor:int ->
+  Pgpu_ir.Instr.instr ->
+  Pgpu_ir.Instr.block * Pgpu_ir.Instr.instr

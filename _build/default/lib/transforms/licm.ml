@@ -1,0 +1,121 @@
+(** Loop-invariant code motion, including hoisting of loads out of
+    loops that provably do not write memory or synchronize, and
+    hoisting of thread-uniform computation out of thread-level parallel
+    loops.
+
+    Hoisting loads of loop-invariant addresses out of innermost compute
+    loops is the optimization the paper credits for the lavaMD speedup
+    of Polygeist-GPU over clang (Section VII-C): shared-memory loads
+    hoisted out of the innermost loop dramatically improve the memory
+    behaviour of the kernel. *)
+
+open Pgpu_ir
+
+let rec writes_or_syncs_block b = List.exists writes_or_syncs b
+
+and writes_or_syncs (i : Instr.instr) =
+  match i with
+  | Instr.Store _ | Instr.Barrier _ | Instr.Memcpy _ | Instr.Intrinsic _ | Instr.Gpu_wrapper _
+  | Instr.Alternatives _ | Instr.Alloc _ | Instr.Alloc_shared _ | Instr.Free _ ->
+      true
+  | Instr.Let _ -> false
+  | Instr.If { then_; else_; _ } -> writes_or_syncs_block then_ || writes_or_syncs_block else_
+  | Instr.For { body; _ } | Instr.While { body; _ } | Instr.Parallel { body; _ } ->
+      writes_or_syncs_block body
+  | Instr.Yield _ | Instr.Yield_while _ | Instr.Return _ -> false
+
+(** Values defined anywhere inside a block, region args included. *)
+let defined_inside (args : Value.t list) (block : Instr.block) =
+  let s = Value.Tbl.create 64 in
+  List.iter (fun v -> Value.Tbl.replace s v ()) args;
+  Instr.iter_deep
+    (fun i ->
+      List.iter (fun v -> Value.Tbl.replace s v ()) (Instr.defs i);
+      List.iter (fun (rargs, _) -> List.iter (fun v -> Value.Tbl.replace s v ()) rargs) (Instr.regions i))
+    block;
+  s
+
+(** Partition the body of a loop-like region into (hoistable, kept).
+    An instruction is hoistable when it is a pure [Let] (or, when
+    [allow_loads], a load and the body performs no writes/syncs) whose
+    operands are all defined outside the region. Iterates so that
+    chains of invariant definitions hoist together. *)
+let hoist_from ~args ~allow_loads (body : Instr.block) =
+  let inside = defined_inside args body in
+  let no_writes = not (writes_or_syncs_block body) in
+  let hoisted = ref [] in
+  let changed = ref true in
+  let body = ref body in
+  while !changed do
+    changed := false;
+    let keep =
+      List.filter
+        (fun (i : Instr.instr) ->
+          let invariant_ops () =
+            List.for_all (fun v -> not (Value.Tbl.mem inside v)) (Instr.direct_uses i)
+          in
+          match i with
+          | Instr.Let (v, Instr.Load _) when allow_loads && no_writes && invariant_ops () ->
+              hoisted := i :: !hoisted;
+              Value.Tbl.remove inside v;
+              changed := true;
+              false
+          | Instr.Let (v, _) when Instr.is_pure i && invariant_ops () ->
+              hoisted := i :: !hoisted;
+              Value.Tbl.remove inside v;
+              changed := true;
+              false
+          | _ -> true)
+        !body
+    in
+    body := keep
+  done;
+  (List.rev !hoisted, !body)
+
+let rec licm_block ~const_of (block : Instr.block) : Instr.block =
+  let licm_block b = licm_block ~const_of b in
+  List.concat_map
+    (fun (i : Instr.instr) ->
+      match i with
+      | Instr.For ({ iv; lb; ub; iter_args; body; _ } as f) ->
+          let body' = licm_block body in
+          (* pure hoisting is unconditionally safe; loads additionally
+             require a provably non-zero trip count, because the memory
+             model bounds-checks speculated accesses *)
+          let allow_loads =
+            match (const_of lb, const_of ub) with Some l, Some u -> l < u | _ -> false
+          in
+          let hoisted, kept = hoist_from ~args:(iv :: iter_args) ~allow_loads body' in
+          hoisted @ [ Instr.For { f with body = kept } ]
+      | Instr.While ({ iter_args; body; _ } as w) ->
+          let body' = licm_block body in
+          (* a do-while executes at least once: loads may hoist *)
+          let hoisted, kept = hoist_from ~args:iter_args ~allow_loads:true body' in
+          hoisted @ [ Instr.While { w with body = kept } ]
+      | Instr.Parallel ({ level; ivs; body; _ } as p) ->
+          let body' = licm_block body in
+          (* hoist uniform pure computation out of the thread loop to
+             block level (parallel-invariant code motion); loads are
+             not hoisted because a parallel loop may have zero
+             iterations at runtime *)
+          let hoisted, kept =
+            match level with
+            | Instr.Threads -> hoist_from ~args:ivs ~allow_loads:false body'
+            | Instr.Blocks -> ([], body')
+          in
+          hoisted @ [ Instr.Parallel { p with body = kept } ]
+      | Instr.If ({ then_; else_; _ } as f) ->
+          [ Instr.If { f with then_ = licm_block then_; else_ = licm_block else_ } ]
+      | Instr.Gpu_wrapper ({ body; _ } as w) ->
+          [ Instr.Gpu_wrapper { w with body = licm_block body } ]
+      | Instr.Alternatives ({ regions; _ } as a) ->
+          [ Instr.Alternatives { a with regions = List.map licm_block regions } ]
+      | i -> [ i ])
+    block
+
+let run_block block =
+  let const_of = Coarsen.const_env [ block ] in
+  licm_block ~const_of block
+
+let run_func (f : Instr.func) = { f with Instr.body = run_block f.Instr.body }
+let run_modul (m : Instr.modul) = { Instr.funcs = List.map run_func m.Instr.funcs }

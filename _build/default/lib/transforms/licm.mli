@@ -1,0 +1,13 @@
+(** Loop-invariant code motion: hoists pure computation out of loops
+    and thread-level parallel loops, and loads out of loops that
+    provably neither write memory nor synchronize (with a
+    non-zero-trip-count check for [for] loops, since the memory model
+    bounds-checks speculated accesses; do-while bodies always run).
+
+    Hoisting invariant shared-memory loads out of innermost compute
+    loops is the optimization the paper credits for the lavaMD speedup
+    of Polygeist-GPU over clang (Section VII-C). *)
+
+val run_block : Pgpu_ir.Instr.block -> Pgpu_ir.Instr.block
+val run_func : Pgpu_ir.Instr.func -> Pgpu_ir.Instr.func
+val run_modul : Pgpu_ir.Instr.modul -> Pgpu_ir.Instr.modul

@@ -1,0 +1,74 @@
+(** The Polygeist-GPU optimization pipeline (Fig. 4).
+
+    Host and device code live in the same module, so the scalar
+    cleanup passes run across the host/device boundary; kernel
+    granularity selection then multi-versions each gpu_wrapper with the
+    requested coarsening configurations. *)
+
+open Pgpu_ir
+module Descriptor = Pgpu_target.Descriptor
+
+type options = {
+  target : Descriptor.t;
+  optimize : bool;  (** scalar optimizations (CSE, LICM, canonicalize, DCE) *)
+  coarsen_specs : Coarsen.spec list;
+      (** coarsening configurations to version; empty = no coarsening *)
+  verify : bool;  (** verify the module between stages *)
+}
+
+let default_options target = { target; optimize = true; coarsen_specs = []; verify = true }
+
+type kernel_report = { kernel : string; wid : int; candidates : Alternatives.candidate list }
+
+type report = { kernels : kernel_report list }
+
+let scalar_pipeline (m : Instr.modul) =
+  m |> Canonicalize.run_modul |> Cse.run_modul |> Licm.run_modul |> Cse.run_modul
+  |> Dce.run_modul |> Barrier_elim.run_modul
+
+(** Multi-version every kernel in the module. *)
+let expand_kernels options (m : Instr.modul) : Instr.modul * kernel_report list =
+  let reports = ref [] in
+  let outer_const = Coarsen.const_env (List.map (fun f -> f.Instr.body) m.Instr.funcs) in
+  let rec go_block b = List.map go_instr b
+  and go_instr (i : Instr.instr) =
+    match i with
+    | Instr.Gpu_wrapper { wid; name; body } ->
+        let body', candidates =
+          Alternatives.expand options.target ~outer_const ~specs:options.coarsen_specs body
+        in
+        reports := { kernel = name; wid; candidates } :: !reports;
+        Instr.Gpu_wrapper { wid; name; body = body' }
+    | Instr.If ({ then_; else_; _ } as r) ->
+        Instr.If { r with then_ = go_block then_; else_ = go_block else_ }
+    | Instr.For ({ body; _ } as r) -> Instr.For { r with body = go_block body }
+    | Instr.While ({ body; _ } as r) -> Instr.While { r with body = go_block body }
+    | i -> i
+  in
+  let funcs = List.map (fun f -> { f with Instr.body = go_block f.Instr.body }) m.Instr.funcs in
+  ({ Instr.funcs }, List.rev !reports)
+
+(** Compile a module: scalar optimization, then kernel
+    multi-versioning. Raises [Verify.Invalid] if an internal pass
+    breaks the IR (with [verify = true]). *)
+let compile (options : options) (m : Instr.modul) : Instr.modul * report =
+  if options.verify then Verify.check_exn m;
+  let m = if options.optimize then scalar_pipeline m else m in
+  if options.verify then Verify.check_exn m;
+  let m, kernels =
+    if options.coarsen_specs = [] then (m, [])
+    else begin
+      let m, reports = expand_kernels options m in
+      if options.verify then Verify.check_exn m;
+      (m, reports)
+    end
+  in
+  (m, { kernels })
+
+(** Build the spec list for (block_total, thread_total) pairs — the
+    "total factor" interface of Section IV-C. Totals are balanced over
+    each kernel's usable dimensions when the spec is applied. *)
+let specs_of_totals (pairs : (int * int) list) : Coarsen.spec list =
+  List.map
+    (fun (bt, tt) -> Coarsen.spec ~block:(Coarsen.Total bt) ~thread:(Coarsen.Total tt) ())
+    pairs

@@ -1,0 +1,32 @@
+(** The Polygeist-GPU optimization pipeline (Fig. 4 of the paper):
+    scalar cleanups run across the host/device boundary of the
+    combined module, then every gpu_wrapper is multi-versioned with
+    the requested coarsening configurations. *)
+
+open Pgpu_ir
+module Descriptor = Pgpu_target.Descriptor
+
+type options = {
+  target : Descriptor.t;
+  optimize : bool;  (** scalar optimizations (CSE, LICM, canonicalize, DCE, barriers) *)
+  coarsen_specs : Coarsen.spec list;  (** configurations to version; empty = none *)
+  verify : bool;  (** verify the module between stages *)
+}
+
+val default_options : Descriptor.t -> options
+
+type kernel_report = { kernel : string; wid : int; candidates : Alternatives.candidate list }
+type report = { kernels : kernel_report list }
+
+(** The scalar pass pipeline alone (the paper's "Polygeist-GPU without
+    parallel optimizations" configuration). *)
+val scalar_pipeline : Instr.modul -> Instr.modul
+
+(** Compile a module: scalar optimization, then kernel
+    multi-versioning. Raises [Verify.Invalid] if an internal pass
+    breaks the IR (with [verify = true]). *)
+val compile : options -> Instr.modul -> Instr.modul * report
+
+(** Specs from (block_total, thread_total) pairs — the paper's "total
+    factor" interface, balanced per kernel when applied. *)
+val specs_of_totals : (int * int) list -> Coarsen.spec list

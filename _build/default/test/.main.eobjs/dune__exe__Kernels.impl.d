@@ -1,0 +1,1 @@
+test/kernels.ml: Array Builder Instr List Ops Pgpu_ir Pgpu_runtime Types Value

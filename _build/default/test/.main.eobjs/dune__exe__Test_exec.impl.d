@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Builder Counters Exec Float Instr Kernels List Memory Ops Pgpu_gpusim Pgpu_ir Pgpu_runtime Pgpu_target Types Value Verify

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Float Fmt Kernels List Pgpu_frontend Pgpu_gpusim Pgpu_ir Pgpu_runtime Pgpu_target Pgpu_transforms Verify

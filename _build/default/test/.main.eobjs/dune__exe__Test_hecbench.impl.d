@@ -1,0 +1,1 @@
+test/test_hecbench.ml: Alcotest List Pgpu_hecbench Pgpu_rodinia Test_rodinia

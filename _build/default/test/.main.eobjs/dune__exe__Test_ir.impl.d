@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Clone Instr List Ops Pgpu_ir String Types Value Verify

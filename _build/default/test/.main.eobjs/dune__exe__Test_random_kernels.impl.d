@@ -1,0 +1,1 @@
+test/test_random_kernels.ml: Builder Float Fmt Instr List Ops Pgpu_gpusim Pgpu_ir Pgpu_runtime Pgpu_target Pgpu_transforms QCheck QCheck_alcotest Types Value Verify

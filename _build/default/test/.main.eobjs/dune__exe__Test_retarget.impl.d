@@ -1,0 +1,1 @@
+test/test_retarget.ml: Alcotest Array Float List Pgpu_frontend Pgpu_gpusim Pgpu_hecbench Pgpu_ir Pgpu_retarget Pgpu_rodinia Pgpu_runtime Pgpu_target QCheck QCheck_alcotest String

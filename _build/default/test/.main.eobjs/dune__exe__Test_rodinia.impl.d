@@ -1,0 +1,1 @@
+test/test_rodinia.ml: Alcotest Array Float List Pgpu_frontend Pgpu_gpusim Pgpu_ir Pgpu_rodinia Pgpu_runtime Pgpu_target Pgpu_transforms Verify

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest List Pgpu_support QCheck QCheck_alcotest Rng Stats Util

@@ -1,0 +1,1 @@
+test/test_target.ml: Alcotest Backend Builder Descriptor Float Fmt Instr List Occupancy Ops Pgpu_ir Pgpu_target Regalloc Types Value Visa

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Counters Exec Option Pgpu_gpusim Pgpu_target Timing

@@ -1,0 +1,6 @@
+let () =
+  Alcotest.run "polygeist-gpu"
+    (Test_support.suite @ Test_ir.suite @ Test_target.suite @ Test_exec.suite
+    @ Test_transforms.suite @ Test_frontend.suite @ Test_timing.suite
+    @ Test_retarget.suite @ Test_rodinia.suite @ Test_hecbench.suite
+    @ Test_random_kernels.suite)

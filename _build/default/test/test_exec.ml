@@ -1,0 +1,227 @@
+(** End-to-end tests of the GPU simulator: functional correctness of
+    kernels run through the host runtime, plus the event counters
+    (coalescing, divergence, shared-memory traffic) that drive the
+    performance model. *)
+
+open Pgpu_ir
+open Pgpu_gpusim
+module Descriptor = Pgpu_target.Descriptor
+
+let ( !: ) = Alcotest.test_case
+
+let f32 = Types.F32
+let global_f32 = Types.Memref (Types.Global, f32)
+let host_f32 = Types.Memref (Types.Host, f32)
+
+let check_floats ~tol what expected actual =
+  if List.length expected <> List.length actual then
+    Alcotest.failf "%s: length mismatch %d vs %d" what (List.length expected)
+      (List.length actual);
+  List.iteri
+    (fun i (e, a) ->
+      if Float.abs (e -. a) > tol *. (1. +. Float.abs e) then
+        Alcotest.failf "%s[%d]: expected %g, got %g" what i e a)
+    (List.combine expected actual)
+
+let vecadd_module = Kernels.vecadd_module
+
+let run_main ?(config = Pgpu_runtime.Runtime.default_config Descriptor.a100) m args =
+  Pgpu_runtime.Runtime.run config m args
+
+let test_vecadd_functional () =
+  let m = vecadd_module () in
+  Verify.check_exn m;
+  let n = 1000 in
+  let results, st = run_main m [ Exec.UI n ] in
+  let got = Pgpu_runtime.Runtime.buffer_contents (List.hd results) in
+  let a = Pgpu_runtime.Runtime.rand_array 11 n and b = Pgpu_runtime.Runtime.rand_array 22 n in
+  let expected = List.init n (fun i -> a.(i) +. b.(i)) in
+  check_floats ~tol:1e-9 "vecadd" expected got;
+  Alcotest.(check int) "one launch" 1 (List.length (Pgpu_runtime.Runtime.records st));
+  Alcotest.(check bool) "composite time positive" true
+    (Pgpu_runtime.Runtime.composite_seconds st > 0.)
+
+let test_vecadd_tail_guard () =
+  (* n = 1 exercises a grid of one block with 255 masked lanes *)
+  let m = vecadd_module () in
+  let results, _ = run_main m [ Exec.UI 1 ] in
+  let got = Pgpu_runtime.Runtime.buffer_contents (List.hd results) in
+  let a = Pgpu_runtime.Runtime.rand_array 11 1 and b = Pgpu_runtime.Runtime.rand_array 22 1 in
+  check_floats ~tol:1e-9 "vecadd n=1" [ a.(0) +. b.(0) ] got
+
+let test_reduce_functional () =
+  let m = Kernels.reduce_module () in
+  Verify.check_exn m;
+  let nb = 5 in
+  let results, st = run_main m [ Exec.UI nb ] in
+  let got = Pgpu_runtime.Runtime.buffer_contents (List.hd results) in
+  let expected = Kernels.reduce_expected nb in
+  check_floats ~tol:1e-6 "reduce" expected got;
+  (* shared memory traffic and barriers must have been observed *)
+  let r = List.hd (Pgpu_runtime.Runtime.records st) in
+  let c = r.Pgpu_runtime.Runtime.result.Exec.counters in
+  Alcotest.(check bool) "barriers observed" true (c.Counters.barriers > 0.);
+  Alcotest.(check bool) "shared loads observed" true (c.Counters.shared_load_req > 0.)
+
+(** Direct launches for counter-level checks. *)
+let direct_launch ?(target = Descriptor.a100) ~nblocks ~nthreads body_fn =
+  let machine = Exec.create_machine target in
+  let env = Exec.env_create () in
+  let b = Builder.create () in
+  let gb = Builder.const_i b nblocks in
+  let tb = Builder.const_i b nthreads in
+  ignore
+    (Builder.parallel b Instr.Blocks [ gb ] (fun bb _ bivs ->
+         ignore
+           (Builder.parallel bb Instr.Threads [ tb ] (fun ib tpid tivs ->
+                body_fn ib tpid (List.hd bivs) (List.hd tivs)))));
+  let block = Builder.finish b in
+  (* evaluate the leading constants on the host side *)
+  let rec setup = function
+    | [ (Instr.Parallel _ as p) ] -> p
+    | Instr.Let (v, Instr.Const (Instr.Ci n)) :: rest ->
+        Exec.bind env v (Exec.UI n);
+        setup rest
+    | _ -> Alcotest.fail "unexpected setup shape"
+  in
+  let p = setup block in
+  let result = Exec.launch machine ~mode:`All ~env p in
+  result
+
+let test_coalescing () =
+  let alloc = Memory.allocator () in
+  let buf = Memory.alloc alloc Types.Global Types.F32 (256 * 32) in
+  let mk stride =
+    direct_launch ~nblocks:1 ~nthreads:256 (fun ib _ _ tid ->
+        let c = Builder.const_i ib stride in
+        let i = Builder.mul_ ib tid c in
+        ignore (Builder.load ib (Value.fresh ~hint:"buf" global_f32) i) |> ignore)
+  in
+  ignore mk;
+  (* cannot capture the buffer through a fresh value; bind explicitly *)
+  let run stride =
+    let machine = Exec.create_machine Descriptor.a100 in
+    let env = Exec.env_create () in
+    let bufv = Value.fresh ~hint:"buf" global_f32 in
+    Exec.bind env bufv (Exec.UB buf);
+    let b = Builder.create () in
+    let g1 = Builder.const_i b 1 in
+    let t256 = Builder.const_i b 256 in
+    ignore
+      (Builder.parallel b Instr.Blocks [ g1 ] (fun bb _ _ ->
+           ignore
+             (Builder.parallel bb Instr.Threads [ t256 ] (fun ib _ tivs ->
+                  let tid = List.hd tivs in
+                  let c = Builder.const_i ib stride in
+                  let i = Builder.mul_ ib tid c in
+                  let v = Builder.load ib bufv i in
+                  Builder.store ib bufv i v))));
+    let rec setup = function
+      | [ (Instr.Parallel _ as p) ] -> p
+      | Instr.Let (v, Instr.Const (Instr.Ci n)) :: rest ->
+          Exec.bind env v (Exec.UI n);
+          setup rest
+      | _ -> Alcotest.fail "unexpected shape"
+    in
+    let p = setup (Builder.finish b) in
+    (Exec.launch machine ~mode:`All ~env p).Exec.counters
+  in
+  let unit_stride = run 1 and strided = run 32 in
+  (* 256 consecutive f32 = 32 sectors; stride-32 touches one sector per lane *)
+  Alcotest.(check (float 0.1)) "coalesced load sectors" 32. unit_stride.Counters.load_sectors;
+  Alcotest.(check (float 0.1)) "strided load sectors" 256. strided.Counters.load_sectors;
+  Alcotest.(check (float 0.1)) "requests equal" unit_stride.Counters.global_load_req
+    strided.Counters.global_load_req
+
+let test_divergence_counter () =
+  let r =
+    direct_launch ~nblocks:1 ~nthreads:64 (fun ib _ _ tid ->
+        let c16 = Builder.const_i ib 16 in
+        let cond = Builder.cmp ib Ops.Lt tid c16 in
+        ignore
+          (Builder.if_ ib cond [ Types.I32 ]
+             (fun b -> [ Builder.add_ b tid tid ])
+             (fun b -> [ Builder.mul_ b tid tid ])))
+  in
+  (* warp 0 diverges (lanes 0-15 vs 16-31); warp 1 does not *)
+  Alcotest.(check (float 0.1)) "one divergent warp" 1. r.Exec.counters.Counters.divergent_branches
+
+let test_partial_warp_lanes () =
+  let r =
+    direct_launch ~nblocks:4 ~nthreads:16 (fun ib _ _ tid -> ignore (Builder.add_ ib tid tid))
+  in
+  Alcotest.(check int) "threads per block observed" 16 r.Exec.threads_per_block;
+  Alcotest.(check int) "nblocks" 4 r.Exec.nblocks;
+  (* each add issues 1 warp inst per block with 16 active lanes *)
+  Alcotest.(check bool) "lanes counted" true (r.Exec.counters.Counters.lane_int >= 4. *. 16.)
+
+let test_sampled_launch_scales () =
+  let full =
+    direct_launch ~nblocks:64 ~nthreads:32 (fun ib _ _ tid -> ignore (Builder.add_ ib tid tid))
+  in
+  let machine = Exec.create_machine Descriptor.a100 in
+  let env = Exec.env_create () in
+  let b = Builder.create () in
+  let g = Builder.const_i b 64 in
+  let t = Builder.const_i b 32 in
+  ignore
+    (Builder.parallel b Instr.Blocks [ g ] (fun bb _ _ ->
+         ignore
+           (Builder.parallel bb Instr.Threads [ t ] (fun ib _ tivs ->
+                ignore (Builder.add_ ib (List.hd tivs) (List.hd tivs))))));
+  let rec setup = function
+    | [ (Instr.Parallel _ as p) ] -> p
+    | Instr.Let (v, Instr.Const (Instr.Ci n)) :: rest ->
+        Exec.bind env v (Exec.UI n);
+        setup rest
+    | _ -> Alcotest.fail "unexpected shape"
+  in
+  let p = setup (Builder.finish b) in
+  let sampled = Exec.launch machine ~mode:(`Sample 8) ~env p in
+  let rel a b = Float.abs (a -. b) /. Float.max 1. b in
+  Alcotest.(check bool) "scaled warp insts match full run" true
+    (rel sampled.Exec.counters.Counters.warp_insts full.Exec.counters.Counters.warp_insts < 0.05)
+
+let test_bank_conflicts () =
+  (* 32 threads reading stride-32 words hit one bank: 32 replays; the
+     unit-stride pattern is conflict-free *)
+  let run stride =
+    let r =
+      direct_launch ~nblocks:1 ~nthreads:32 (fun ib tpid _ tid ->
+          ignore tpid;
+          let smem = Builder.alloc_shared ib Types.F32 1024 in
+          let c = Builder.const_i ib stride in
+          let i = Builder.mul_ ib tid c in
+          let v = Builder.load ib smem i in
+          Builder.store ib smem i v)
+    in
+    r.Exec.counters.Counters.shared_transactions
+  in
+  let unit_stride = run 1 and conflicted = run 32 in
+  Alcotest.(check (float 0.1)) "unit stride: 2 transactions" 2. unit_stride;
+  Alcotest.(check (float 0.1)) "stride 32: 64 replayed transactions" 64. conflicted
+
+let test_barrier_divergence_detected () =
+  Alcotest.check_raises "barrier under divergence"
+    (Exec.Device_error "barrier divergence: 16 of 64 lanes active") (fun () ->
+      ignore
+        (direct_launch ~nblocks:1 ~nthreads:64 (fun ib tpid _ tid ->
+             let c16 = Builder.const_i ib 16 in
+             let cond = Builder.cmp ib Ops.Lt tid c16 in
+             Builder.if0 ib cond (fun bb -> Builder.barrier bb tpid))))
+
+let suite =
+  [
+    ( "exec",
+      [
+        !:"vecadd functional" `Quick test_vecadd_functional;
+        !:"vecadd tail guard" `Quick test_vecadd_tail_guard;
+        !:"reduction with barriers" `Quick test_reduce_functional;
+        !:"coalescing sectors" `Quick test_coalescing;
+        !:"divergence counter" `Quick test_divergence_counter;
+        !:"partial warps" `Quick test_partial_warp_lanes;
+        !:"sampled launch scales counters" `Quick test_sampled_launch_scales;
+        !:"shared-memory bank conflicts" `Quick test_bank_conflicts;
+        !:"barrier divergence detected" `Quick test_barrier_divergence_detected;
+      ] );
+  ]

@@ -1,0 +1,22 @@
+(** Correctness tests for the HeCBench subset, mirroring the Rodinia
+    test matrix (baseline, unoptimized, coarsened + TDO, AMD). *)
+
+module Bench_def = Pgpu_rodinia.Bench_def
+module Registry = Pgpu_hecbench.Registry
+
+let suite =
+  [
+    ( "hecbench",
+      List.concat_map
+        (fun (b : Bench_def.t) ->
+          [
+            Alcotest.test_case (b.Bench_def.name ^ " baseline") `Quick
+              (Test_rodinia.test_baseline b);
+            Alcotest.test_case (b.Bench_def.name ^ " unoptimized") `Quick
+              (Test_rodinia.test_unoptimized b);
+            Alcotest.test_case (b.Bench_def.name ^ " coarsened+TDO") `Slow
+              (Test_rodinia.test_coarsened b);
+            Alcotest.test_case (b.Bench_def.name ^ " on AMD") `Quick (Test_rodinia.test_amd b);
+          ])
+        Registry.all );
+  ]

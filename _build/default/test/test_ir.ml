@@ -1,0 +1,178 @@
+(** Tests for the IR: builder, verifier, cloning, analyses. *)
+
+open Pgpu_ir
+
+let ( !: ) = Alcotest.test_case
+
+(** Build a minimal well-formed module: a host function with a
+    gpu_wrapper containing a blocks/threads nest with a barrier and a
+    shared allocation, like Fig. 2 of the paper. *)
+let fig2_module () =
+  let n = Value.fresh ~hint:"n" Types.I32 in
+  let gmem = Value.fresh ~hint:"g" (Types.Memref (Types.Global, Types.F32)) in
+  let f =
+    Builder.func "main" [ n; gmem ] []
+      (fun b ->
+        Builder.gpu_wrapper b "kernel" (fun wb ->
+            let c32 = Builder.const_i wb 32 in
+            ignore
+              (Builder.parallel wb Instr.Blocks [ n ] (fun bb _bpid bivs ->
+                   let bid = List.hd bivs in
+                   let smem = Builder.alloc_shared bb Types.F32 32 in
+                   ignore
+                     (Builder.parallel bb Instr.Threads [ c32 ] (fun tb tpid tivs ->
+                          let tid = List.hd tivs in
+                          let base = Builder.mul_ tb bid c32 in
+                          let gidx = Builder.add_ tb base tid in
+                          let v = Builder.load tb gmem gidx in
+                          Builder.store tb smem tid v;
+                          Builder.barrier tb tpid;
+                          let rev = Builder.sub_ tb c32 tid in
+                          let one = Builder.const_i tb 1 in
+                          let ridx = Builder.sub_ tb rev one in
+                          let w = Builder.load tb smem ridx in
+                          Builder.store tb gmem gidx w)))));
+        Builder.return b [])
+  in
+  { Instr.funcs = [ f ] }
+
+let test_verify_ok () =
+  let m = fig2_module () in
+  match Verify.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verification failed: %s" e
+
+let contains_substring s affix =
+  let n = String.length affix and m = String.length s in
+  let rec go i = if i + n > m then false else String.sub s i n = affix || go (i + 1) in
+  go 0
+
+let test_printer_smoke () =
+  let m = fig2_module () in
+  let s = Instr.modul_to_string m in
+  List.iter
+    (fun frag ->
+      if not (contains_substring s frag) then
+        Alcotest.failf "printer output missing %S:\n%s" frag s)
+    [ "gpu_wrapper"; "parallel<blocks"; "parallel<threads"; "barrier"; "alloc_shared" ]
+
+let test_verify_catches_use_before_def () =
+  let x = Value.fresh Types.I32 in
+  let y = Value.fresh Types.I32 in
+  let f =
+    {
+      Instr.fname = "bad";
+      params = [];
+      ret = [];
+      body = [ Instr.Let (y, Instr.Binop (Ops.Add, x, x)); Instr.Return [] ];
+    }
+  in
+  match Verify.check { Instr.funcs = [ f ] } with
+  | Ok () -> Alcotest.fail "expected verification failure"
+  | Error _ -> ()
+
+let test_verify_catches_type_error () =
+  let f =
+    Builder.func "bad" [] [] (fun b ->
+        let x = Builder.const_i b 1 in
+        let y = Builder.const_f b 2. in
+        let bad = Value.fresh Types.I32 in
+        Builder.add b (Instr.Let (bad, Instr.Binop (Ops.Add, x, y)));
+        Builder.return b [])
+  in
+  match Verify.check { Instr.funcs = [ f ] } with
+  | Ok () -> Alcotest.fail "expected type error"
+  | Error _ -> ()
+
+let test_verify_barrier_scope () =
+  (* a barrier whose scope is not an enclosing parallel must be rejected *)
+  let f =
+    Builder.func "bad" [] [] (fun b ->
+        Builder.gpu_wrapper b "k" (fun wb ->
+            let one = Builder.const_i wb 1 in
+            ignore
+              (Builder.parallel wb Instr.Blocks [ one ] (fun bb _ _ ->
+                   ignore
+                     (Builder.parallel bb Instr.Threads [ one ] (fun tb _ _ ->
+                          Builder.barrier tb 99999)))));
+        Builder.return b [])
+  in
+  match Verify.check { Instr.funcs = [ f ] } with
+  | Ok () -> Alcotest.fail "expected barrier scope error"
+  | Error _ -> ()
+
+let test_clone_freshens () =
+  let m = fig2_module () in
+  let f = Instr.find_func m "main" in
+  let cloned = Clone.block f.Instr.body in
+  (* collect all defs of both blocks: they must be disjoint *)
+  let defs block =
+    let acc = ref Value.Set.empty in
+    Instr.iter_deep (fun i -> List.iter (fun v -> acc := Value.Set.add v !acc) (Instr.defs i)) block;
+    !acc
+  in
+  let d1 = defs f.Instr.body and d2 = defs cloned in
+  Alcotest.(check int) "same number of defs" (Value.Set.cardinal d1) (Value.Set.cardinal d2);
+  Alcotest.(check bool) "disjoint" true (Value.Set.is_empty (Value.Set.inter d1 d2));
+  (* the cloned function must still verify *)
+  let f2 = { f with Instr.body = cloned } in
+  match Verify.check { Instr.funcs = [ { f2 with fname = "clone" } ] } with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "cloned function does not verify: %s" e
+
+let test_clone_remaps_barrier_scopes () =
+  let m = fig2_module () in
+  let f = Instr.find_func m "main" in
+  let cloned = Clone.block f.Instr.body in
+  let pids block =
+    let acc = ref [] in
+    Instr.iter_deep
+      (fun i -> match i with Instr.Parallel { pid; _ } -> acc := pid :: !acc | _ -> ())
+      block;
+    !acc
+  in
+  let scopes block =
+    let acc = ref [] in
+    Instr.iter_deep
+      (fun i -> match i with Instr.Barrier { scope } -> acc := scope :: !acc | _ -> ())
+      block;
+    !acc
+  in
+  let new_pids = pids cloned and new_scopes = scopes cloned in
+  Alcotest.(check bool) "barrier scope points into the clone" true
+    (List.for_all (fun s -> List.mem s new_pids) new_scopes);
+  Alcotest.(check bool) "pids freshened" true
+    (List.for_all (fun p -> not (List.mem p (pids f.Instr.body))) new_pids)
+
+let test_free_values () =
+  let outer = Value.fresh ~hint:"o" Types.I32 in
+  let b = Builder.create () in
+  let x = Builder.add_ b outer outer in
+  let _y = Builder.mul_ b x x in
+  let block = Builder.finish b in
+  let frees = Instr.free_values block in
+  Alcotest.(check int) "one free value" 1 (List.length frees);
+  Alcotest.(check bool) "it is the outer one" true (Value.equal (List.hd frees) outer)
+
+let test_contains_barrier () =
+  let m = fig2_module () in
+  let f = Instr.find_func m "main" in
+  Alcotest.(check bool) "has barrier" true (Instr.contains_barrier f.Instr.body);
+  Alcotest.(check bool) "no barrier for bogus scope" false
+    (Instr.contains_barrier ~scope:987654 f.Instr.body)
+
+let suite =
+  [
+    ( "ir",
+      [
+        !:"verify fig2" `Quick test_verify_ok;
+        !:"printer smoke" `Quick test_printer_smoke;
+        !:"verify catches use-before-def" `Quick test_verify_catches_use_before_def;
+        !:"verify catches type error" `Quick test_verify_catches_type_error;
+        !:"verify catches bad barrier scope" `Quick test_verify_barrier_scope;
+        !:"clone freshens values" `Quick test_clone_freshens;
+        !:"clone remaps barrier scopes" `Quick test_clone_remaps_barrier_scopes;
+        !:"free values" `Quick test_free_values;
+        !:"contains_barrier" `Quick test_contains_barrier;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+(** Unit and property tests for the support library. *)
+
+open Pgpu_support
+
+let test_ceil_div () =
+  Alcotest.(check int) "7/2" 4 (Util.ceil_div 7 2);
+  Alcotest.(check int) "8/2" 4 (Util.ceil_div 8 2);
+  Alcotest.(check int) "1/256" 1 (Util.ceil_div 1 256);
+  Alcotest.(check int) "0/3" 0 (Util.ceil_div 0 3)
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (Util.divisors 12);
+  Alcotest.(check (list int)) "1" [ 1 ] (Util.divisors 1);
+  Alcotest.(check (list int)) "7" [ 1; 7 ] (Util.divisors 7)
+
+let test_factorize () =
+  Alcotest.(check (list int)) "12" [ 2; 2; 3 ] (Util.factorize 12);
+  Alcotest.(check (list int)) "1" [] (Util.factorize 1);
+  Alcotest.(check (list int)) "97" [ 97 ] (Util.factorize 97);
+  Alcotest.(check (list int)) "64" [ 2; 2; 2; 2; 2; 2 ] (Util.factorize 64)
+
+let test_balance_factor () =
+  (* the paper's rule: 16 over three usable dims -> (4, 2, 2); 6 -> (3, 2, 1) *)
+  Alcotest.(check (list int)) "16 over 3" [ 4; 2; 2 ]
+    (Util.balance_factor ~usable:[ true; true; true ] 16);
+  Alcotest.(check (list int)) "6 over 3" [ 3; 2; 1 ]
+    (Util.balance_factor ~usable:[ true; true; true ] 6);
+  Alcotest.(check (list int)) "8 over dim0 only" [ 8; 1; 1 ]
+    (Util.balance_factor ~usable:[ true; false; false ] 8);
+  Alcotest.(check (list int)) "skip size-1 dims" [ 4; 1; 2 ]
+    (Util.balance_factor ~usable:[ true; false; true ] 8)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "median odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Stats.median [ 4.; 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Stats.geomean [ 1.; 4. ]);
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ])
+
+let test_rng_deterministic () =
+  let a = Pgpu_support.Rng.create 42 and b = Pgpu_support.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.)) "same stream" (Rng.float a) (Rng.float b)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    let x = Rng.float (Rng.create 42) in
+    ignore x;
+    if Rng.float c <> Rng.float (Rng.create 42) then differs := true
+  done;
+  Alcotest.(check bool) "different seed differs" true !differs
+
+let prop_balance_product =
+  QCheck.Test.make ~name:"balance_factor preserves the total factor" ~count:200
+    QCheck.(pair (int_range 1 64) (triple bool bool bool))
+    (fun (total, (a, b, c)) ->
+      let usable = [ a; b; c ] in
+      let fs = Pgpu_support.Util.balance_factor ~usable total in
+      List.fold_left ( * ) 1 fs = total)
+
+let prop_divisors =
+  QCheck.Test.make ~name:"divisors divide" ~count:200
+    QCheck.(int_range 1 500)
+    (fun n -> List.for_all (fun d -> n mod d = 0) (Pgpu_support.Util.divisors n))
+
+let prop_rng_range =
+  QCheck.Test.make ~name:"rng float in [0,1)" ~count:100 QCheck.int (fun seed ->
+      let rng = Pgpu_support.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let f = Pgpu_support.Rng.float rng in
+        if f < 0. || f >= 1. then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "support",
+      [
+        Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+        Alcotest.test_case "divisors" `Quick test_divisors;
+        Alcotest.test_case "factorize" `Quick test_factorize;
+        Alcotest.test_case "balance_factor" `Quick test_balance_factor;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        QCheck_alcotest.to_alcotest prop_balance_product;
+        QCheck_alcotest.to_alcotest prop_divisors;
+        QCheck_alcotest.to_alcotest prop_rng_range;
+      ] );
+  ]

@@ -1,0 +1,124 @@
+(** Tests of the analytical timing model: monotonicity in each
+    resource dimension and the occupancy/latency interactions that the
+    coarsening transformations exploit. *)
+
+open Pgpu_gpusim
+module Descriptor = Pgpu_target.Descriptor
+
+let ( !: ) = Alcotest.test_case
+
+let demand ?(regs = 32) ?(shmem = 0) ?(ilp = 2.) ?(mlp = 2.) () =
+  { Timing.regs_per_thread = regs; shmem_per_block = shmem; ilp; mlp }
+
+(** A synthetic launch result with the given counters. *)
+let launch ?(nblocks = 4096) ?(threads = 256) counters =
+  {
+    Exec.nblocks;
+    threads_per_block = threads;
+    grid_dims = [ nblocks ];
+    block_dims = [ threads ];
+    counters;
+  }
+
+let base_counters () =
+  let c = Counters.create () in
+  c.Counters.warp_insts <- 1e7;
+  c.Counters.lane_total <- 3.2e8;
+  c.Counters.lane_int <- 1.6e8;
+  c.Counters.lane_fp32 <- 1.6e8;
+  c.Counters.global_load_req <- 1e6;
+  c.Counters.load_sectors <- 4e6;
+  c.Counters.l1_load_miss_sectors <- 2e6;
+  c.Counters.l2_load_miss_sectors <- 1e6;
+  c.Counters.global_store_req <- 1e6;
+  c.Counters.store_sectors <- 4e6;
+  c.Counters.store_l2_sectors <- 4e6;
+  c.Counters.l2_store_miss_sectors <- 1e6;
+  c
+
+let seconds ?nblocks ?threads ?d c =
+  let d = Option.value d ~default:(demand ()) in
+  (Timing.estimate Descriptor.a100 ~demand:d (launch ?nblocks ?threads c)).Timing.seconds
+
+let test_more_dram_is_slower () =
+  let c1 = base_counters () in
+  let c2 = base_counters () in
+  c2.Counters.l2_load_miss_sectors <- c2.Counters.l2_load_miss_sectors *. 50.;
+  Alcotest.(check bool) "50x DRAM traffic is slower" true (seconds c2 > seconds c1)
+
+let test_more_compute_is_slower () =
+  let c1 = base_counters () in
+  let c2 = base_counters () in
+  c2.Counters.lane_fp32 <- c2.Counters.lane_fp32 *. 100.;
+  Alcotest.(check bool) "100x flops is slower" true (seconds c2 > seconds c1)
+
+let test_fp64_expensive_on_consumer_gpu () =
+  let c = base_counters () in
+  c.Counters.lane_fp64 <- c.Counters.lane_fp32;
+  c.Counters.lane_fp32 <- 0.;
+  let t_a4000 =
+    (Timing.estimate Descriptor.a4000 ~demand:(demand ()) (launch c)).Timing.seconds
+  in
+  let t_mi210 =
+    (Timing.estimate Descriptor.mi210 ~demand:(demand ()) (launch c)).Timing.seconds
+  in
+  (* the RX6800/MI210 double-precision advantage of Fig. 17 *)
+  Alcotest.(check bool) "f64 kernel much faster on MI210 than A4000" true
+    (t_a4000 > 4. *. t_mi210)
+
+let test_occupancy_hides_latency () =
+  (* identical counters; higher register pressure lowers occupancy and
+     must not make the kernel faster *)
+  let c = base_counters () in
+  let t_low_regs = seconds ~d:(demand ~regs:32 ~ilp:1. ~mlp:1. ()) c in
+  let t_high_regs = seconds ~d:(demand ~regs:200 ~ilp:1. ~mlp:1. ()) c in
+  Alcotest.(check bool) "register pressure costs time" true (t_high_regs >= t_low_regs)
+
+let test_ilp_helps_when_latency_bound () =
+  let c = base_counters () in
+  (* make it latency bound: tiny blocks and little bulk traffic, so
+     load latency (not bandwidth) dominates *)
+  c.Counters.store_sectors <- 4e5;
+  c.Counters.store_l2_sectors <- 4e5;
+  c.Counters.l2_store_miss_sectors <- 1e5;
+  let t1 = seconds ~nblocks:200 ~threads:32 ~d:(demand ~ilp:1. ~mlp:1. ()) c in
+  let t4 = seconds ~nblocks:200 ~threads:32 ~d:(demand ~ilp:4. ~mlp:4. ()) c in
+  Alcotest.(check bool) "ILP/MLP reduce latency-bound time" true (t4 < t1)
+
+let test_grid_tail () =
+  (* same total work in fewer, larger-grained blocks: when the grid
+     drops below one wave, utilization suffers *)
+  let c = base_counters () in
+  let t_full = seconds ~nblocks:1728 c in
+  let t_tail = seconds ~nblocks:20 c in
+  Alcotest.(check bool) "partial wave is slower" true (t_tail > t_full)
+
+let test_infeasible_raises () =
+  let c = base_counters () in
+  Alcotest.check_raises "too much shared memory"
+    (Timing.Infeasible "static shared memory exceeds the per-block limit") (fun () ->
+      ignore
+        (Timing.estimate Descriptor.a100
+           ~demand:(demand ~shmem:(200 * 1024) ())
+           (launch c)))
+
+let test_launch_overhead_floor () =
+  let c = Counters.create () in
+  let t = seconds ~nblocks:1 ~threads:32 c in
+  Alcotest.(check bool) "empty kernel still costs a launch" true
+    (t >= Descriptor.a100.Descriptor.kernel_launch_overhead)
+
+let suite =
+  [
+    ( "timing",
+      [
+        !:"dram monotonicity" `Quick test_more_dram_is_slower;
+        !:"compute monotonicity" `Quick test_more_compute_is_slower;
+        !:"fp64 vendor asymmetry (fig17)" `Quick test_fp64_expensive_on_consumer_gpu;
+        !:"occupancy hides latency" `Quick test_occupancy_hides_latency;
+        !:"ilp helps when latency bound" `Quick test_ilp_helps_when_latency_bound;
+        !:"grid tail effect" `Quick test_grid_tail;
+        !:"infeasible demand raises" `Quick test_infeasible_raises;
+        !:"launch overhead floor" `Quick test_launch_overhead_floor;
+      ] );
+  ]
