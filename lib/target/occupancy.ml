@@ -1,0 +1,84 @@
+(** CUDA-style occupancy calculator.
+
+    Given a kernel's per-block resource demand, computes how many
+    blocks one SM can host concurrently and which resource is the
+    binding constraint. Blocks per SM is the minimum of four limits:
+
+    - warp slots:  [max_warps_per_sm / warps_per_block],
+      where [warps_per_block = ceil(threads / warp_size)] — a partial
+      warp still occupies a full slot;
+    - registers:   [regs_per_sm / (regs_per_thread * threads_per_block)];
+    - shared mem:  [shmem_per_sm / shmem_per_block];
+    - the hardware block-slot limit [max_blocks_per_sm].
+
+    Occupancy is [active_warps / max_warps_per_sm]. Demands that can
+    never execute (block too large, register budget exceeded, static
+    shared memory above the per-block limit) are rejected — the static
+    pruning of the multi-versioning pipeline (Section VI). *)
+
+type demand = { threads_per_block : int; regs_per_thread : int; shmem_per_block : int }
+
+type result = {
+  blocks_per_sm : int;
+  active_warps : int;  (** warps resident per SM at this occupancy *)
+  occupancy : float;  (** active warps / warp slots, in (0, 1] *)
+  limiter : string;  (** "threads" | "registers" | "shmem" | "blocks" *)
+}
+
+type rejection = Too_many_threads | Too_many_regs | Too_much_shmem
+
+let pp_rejection ppf = function
+  | Too_many_threads -> Fmt.string ppf "block size exceeds the target's thread limit"
+  | Too_many_regs -> Fmt.string ppf "register demand exceeds the per-thread budget"
+  | Too_much_shmem -> Fmt.string ppf "static shared memory exceeds the per-block limit"
+
+(** Feasibility alone, without the block-packing computation. *)
+let check (t : Descriptor.t) (d : demand) : (unit, rejection) Stdlib.result =
+  if d.threads_per_block > t.Descriptor.max_threads_per_block then Error Too_many_threads
+  else if d.regs_per_thread > t.Descriptor.max_regs_per_thread then Error Too_many_regs
+  else if d.shmem_per_block > t.Descriptor.max_shmem_per_block then Error Too_much_shmem
+  else Ok ()
+
+let compute (t : Descriptor.t) (d : demand) : (result, rejection) Stdlib.result =
+  match check t d with
+  | Error e -> Error e
+  | Ok () ->
+      let threads = max 1 d.threads_per_block in
+      let warps_per_block = Pgpu_support.Util.ceil_div threads t.Descriptor.warp_size in
+      let max_warps = t.Descriptor.max_threads_per_sm / t.Descriptor.warp_size in
+      let by_threads = max_warps / warps_per_block in
+      let by_regs =
+        if d.regs_per_thread <= 0 then max_int
+        else t.Descriptor.regs_per_sm / (d.regs_per_thread * threads)
+      in
+      let by_shmem =
+        if d.shmem_per_block <= 0 then max_int
+        else t.Descriptor.shmem_per_sm / d.shmem_per_block
+      in
+      if by_regs = 0 then Error Too_many_regs
+      else
+        let limits =
+          [
+            ("threads", by_threads);
+            ("registers", by_regs);
+            ("shmem", by_shmem);
+            ("blocks", t.Descriptor.max_blocks_per_sm);
+          ]
+        in
+        let limiter, blocks =
+          List.fold_left (fun (ln, lb) (n, b) -> if b < lb then (n, b) else (ln, lb))
+            (List.hd limits) (List.tl limits)
+        in
+        let active_warps = blocks * warps_per_block in
+        Ok
+          {
+            blocks_per_sm = blocks;
+            active_warps;
+            occupancy = float_of_int active_warps /. float_of_int max_warps;
+            limiter;
+          }
+
+let compute_exn t d =
+  match compute t d with
+  | Ok r -> r
+  | Error e -> invalid_arg (Fmt.str "Occupancy.compute_exn: %a" pp_rejection e)

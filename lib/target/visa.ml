@@ -1,0 +1,153 @@
+(** Virtual ISA: the backend's linear register IR.
+
+    Device regions are lowered to a flat instruction stream over
+    virtual registers — the stand-in for PTX/GCN that the register
+    allocator and the kernel statistics operate on. Structured control
+    flow is linearized in place; loop extents are recorded as index
+    spans so liveness can be extended across back edges. Instructions
+    carry a functional-unit [kind], giving the instruction mix that
+    the timing model's issue statistics build on. *)
+
+open Pgpu_ir
+
+type rw = Read | Write
+
+type kind =
+  | Fp32
+  | Fp64
+  | Int  (** integer ALU, predicates, immediate moves *)
+  | Sfu  (** special-function unit: sqrt, exp, log, sin, cos, rsqrt, pow *)
+  | Mem_global of rw
+  | Mem_shared of rw
+  | Sync
+  | Other  (** control flow, phis, host-side ops *)
+
+type vinstr = {
+  kind : kind;
+  defs : int list;  (** virtual registers written *)
+  srcs : int list;  (** virtual registers read *)
+}
+
+(** A loop's [start, stop] instruction-index span (inclusive): [start]
+    is the header, [stop] the latch. *)
+type loop = { start : int; stop : int }
+
+type program = {
+  code : vinstr array;
+  loops : loop list;
+  nvregs : int;
+  use_counts : int array;  (** reads per virtual register *)
+}
+
+type mix = {
+  n_fp : int;
+  n_int : int;
+  n_sfu : int;
+  n_mem_global : int;
+  n_mem_shared : int;
+  n_sync : int;
+  n_total : int;
+}
+
+let kind_of_ty = function
+  | Types.F64 -> Fp64
+  | Types.F32 -> Fp32
+  | Types.I1 | Types.I32 | Types.I64 -> Int
+  | Types.Memref _ -> Int (* address arithmetic *)
+
+let mem_kind rw (mem : Value.t) =
+  match Types.space_of mem.Value.ty with
+  | Types.Shared -> Mem_shared rw
+  | Types.Global | Types.Host -> Mem_global rw
+
+let kind_of_expr (v : Value.t) = function
+  | Instr.Const _ -> Int
+  | Instr.Binop (Ops.Pow, _, _) -> Sfu
+  | Instr.Unop ((Ops.Sqrt | Ops.Exp | Ops.Log | Ops.Sin | Ops.Cos | Ops.Rsqrt), _) -> Sfu
+  | Instr.Binop _ | Instr.Unop _ | Instr.Select _ | Instr.Cast _ -> kind_of_ty v.Value.ty
+  | Instr.Cmp _ -> Int
+  | Instr.Load { mem; _ } -> mem_kind Read mem
+
+let lower (block : Instr.block) : program =
+  let code = ref [] and n = ref 0 in
+  let loops = ref [] in
+  let vreg : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let nv = ref 0 in
+  (* only scalar SSA values live in registers; memrefs are buffers *)
+  let def_of (v : Value.t) =
+    if Types.is_memref v.Value.ty then None
+    else begin
+      let r = !nv in
+      incr nv;
+      Hashtbl.replace vreg v.Value.id r;
+      Some r
+    end
+  in
+  let src_of (v : Value.t) = Hashtbl.find_opt vreg v.Value.id in
+  let emit kind defs srcs =
+    let srcs = List.filter_map src_of srcs in
+    let defs = List.filter_map def_of defs in
+    code := { kind; defs; srcs } :: !code;
+    incr n;
+    !n - 1
+  in
+  let rec go_block b = List.iter go_instr b
+  and go_instr (i : Instr.instr) =
+    match i with
+    | Instr.Let (v, e) -> ignore (emit (kind_of_expr v e) [ v ] (Instr.direct_uses i))
+    | Instr.Store { mem; idx; v } -> ignore (emit (mem_kind Write mem) [] [ idx; v ])
+    | Instr.If { cond; results; then_; else_ } ->
+        ignore (emit Int [] [ cond ]);
+        go_block then_;
+        go_block else_;
+        ignore (emit Other results [])
+    | Instr.For { iv; lb; ub; step; iter_args; inits; results; body; _ } ->
+        let start = emit Int (iv :: iter_args) (lb :: ub :: step :: inits) in
+        go_block body;
+        let stop = emit Other results [] in
+        loops := { start; stop } :: !loops
+    | Instr.While { iter_args; inits; results; body; _ } ->
+        let start = emit Other iter_args inits in
+        go_block body;
+        let stop = emit Other results [] in
+        loops := { start; stop } :: !loops
+    | Instr.Parallel { ivs; ubs; body; _ } ->
+        ignore (emit Other ivs ubs);
+        go_block body
+    | Instr.Barrier _ -> ignore (emit Sync [] [])
+    | Instr.Alloc_shared { res; _ } -> ignore (emit Other [ res ] [])
+    | Instr.Alloc { res; count; _ } -> ignore (emit Other [ res ] [ count ])
+    | Instr.Free v -> ignore (emit Other [] [ v ])
+    | Instr.Memcpy { dst; src; count } -> ignore (emit Other [] [ dst; src; count ])
+    | Instr.Gpu_wrapper { body; _ } -> go_block body
+    | Instr.Alternatives { regions; _ } -> List.iter go_block regions
+    | Instr.Intrinsic { results; args; _ } -> ignore (emit Other results args)
+    | Instr.Yield vs -> ignore (emit Other [] vs)
+    | Instr.Yield_while (c, vs) -> ignore (emit Other [] (c :: vs))
+    | Instr.Return vs -> ignore (emit Other [] vs)
+  in
+  go_block block;
+  let code = Array.of_list (List.rev !code) in
+  let use_counts = Array.make (max 1 !nv) 0 in
+  Array.iter (fun vi -> List.iter (fun r -> use_counts.(r) <- use_counts.(r) + 1) vi.srcs) code;
+  { code; loops = List.rev !loops; nvregs = !nv; use_counts }
+
+let instruction_mix (p : program) : mix =
+  let m =
+    ref { n_fp = 0; n_int = 0; n_sfu = 0; n_mem_global = 0; n_mem_shared = 0; n_sync = 0; n_total = 0 }
+  in
+  Array.iter
+    (fun vi ->
+      let c = !m in
+      m :=
+        (match vi.kind with
+        | Fp32 | Fp64 -> { c with n_fp = c.n_fp + 1 }
+        | Int -> { c with n_int = c.n_int + 1 }
+        | Sfu -> { c with n_sfu = c.n_sfu + 1 }
+        | Mem_global _ -> { c with n_mem_global = c.n_mem_global + 1 }
+        | Mem_shared _ -> { c with n_mem_shared = c.n_mem_shared + 1 }
+        | Sync -> { c with n_sync = c.n_sync + 1 }
+        | Other -> c);
+      m := { !m with n_total = !m.n_total + 1 })
+    p.code;
+  !m

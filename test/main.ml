@@ -2,5 +2,6 @@ let () =
   Alcotest.run "polygeist-gpu"
     (Test_support.suite @ Test_ir.suite @ Test_target.suite @ Test_exec.suite
     @ Test_transforms.suite @ Test_frontend.suite @ Test_timing.suite
+    @ Test_occupancy_props.suite @ Test_backend_golden.suite @ Test_cross_target.suite
     @ Test_retarget.suite @ Test_rodinia.suite @ Test_hecbench.suite
     @ Test_random_kernels.suite)

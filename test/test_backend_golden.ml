@@ -1,0 +1,68 @@
+(** Golden regression tests for [Backend.analyze]: the ptxas-style
+    statistics of the [Kernels] fixtures are fully deterministic, so
+    any drift in lowering, liveness, or the allocator shows up as a
+    pinned-number mismatch here rather than as a silent timing-model
+    shift. *)
+
+open Pgpu_ir
+module Descriptor = Pgpu_target.Descriptor
+module Backend = Pgpu_target.Backend
+
+let wrapper_body name (m : Instr.modul) : Instr.block =
+  let r = ref None in
+  List.iter
+    (fun (f : Instr.func) ->
+      Instr.iter_deep
+        (fun i ->
+          match i with
+          | Instr.Gpu_wrapper { name = n; body; _ } when n = name && Option.is_none !r ->
+              r := Some body
+          | _ -> ())
+        f.Instr.body)
+    m.Instr.funcs;
+  match !r with
+  | Some b -> b
+  | None -> Alcotest.failf "no gpu_wrapper %S in module" name
+
+type golden = {
+  regs : int;
+  spilled : int;
+  shmem : int;
+  n_instructions : int;
+  ilp : float;
+  mlp : float;
+}
+
+let check_stats name mk expected () =
+  let body = wrapper_body name (mk ()) in
+  let s = Backend.analyze Descriptor.a100 body in
+  Alcotest.(check int) "regs_per_thread" expected.regs s.Backend.regs_per_thread;
+  Alcotest.(check int) "spilled" expected.spilled s.Backend.spilled;
+  Alcotest.(check int) "static_shmem" expected.shmem s.Backend.static_shmem;
+  Alcotest.(check int) "n_instructions" expected.n_instructions s.Backend.n_instructions;
+  Alcotest.(check (float 0.05)) "ilp" expected.ilp s.Backend.ilp;
+  Alcotest.(check (float 0.05)) "mlp" expected.mlp s.Backend.mlp
+
+let case name mk expected =
+  Alcotest.test_case name `Quick (check_stats name mk expected)
+
+let suite =
+  [
+    ( "backend-golden",
+      [
+        (* one load-add-store chain: ABI register floor, mlp from the
+           two independent input loads *)
+        case "vecadd" Kernels.vecadd_module
+          { regs = 4; spilled = 0; shmem = 0; n_instructions = 11; ilp = 1.25; mlp = 2. };
+        (* 256-float shared tile, tree loop: liveness extended across
+           the back edge keeps six registers alive *)
+        case "reduce" Kernels.reduce_module
+          { regs = 6; spilled = 0; shmem = 1024; n_instructions = 31; ilp = 2.33; mlp = 4. };
+        (* 16x16 shared tile with an unrolled-index average loop *)
+        case "tile_avg" Kernels.tile_avg_module
+          { regs = 8; spilled = 0; shmem = 1024; n_instructions = 25; ilp = 4.25; mlp = 3. };
+        (* 32-float shared line, branch-nested barrier *)
+        case "divergent" Kernels.block_divergent_barrier_module
+          { regs = 4; spilled = 0; shmem = 128; n_instructions = 13; ilp = 2.; mlp = 1. };
+      ] );
+  ]

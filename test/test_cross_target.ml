@@ -1,0 +1,90 @@
+(** Cross-target consistency of multi-versioning (Section VI).
+
+    Every registered Rodinia and HeCBench benchmark is compiled and
+    expanded on both an NVIDIA warp-32 target (A100) and an AMD
+    wave-64 target (MI210). The static shared-memory pruning must be
+    consistent with the descriptor on both: a kept candidate never
+    demands more static shared memory than the target's per-block
+    limit, and every shmem rejection names a demand that really is
+    over the limit. A final case per target checks the pruning
+    actually fires somewhere in the suite. *)
+
+module Descriptor = Pgpu_target.Descriptor
+module Backend = Pgpu_target.Backend
+module Coarsen = Pgpu_transforms.Coarsen
+module Alternatives = Pgpu_transforms.Alternatives
+module Pipeline = Pgpu_transforms.Pipeline
+module Bench_def = Pgpu_rodinia.Bench_def
+
+let benches = Pgpu_rodinia.Registry.all @ Pgpu_hecbench.Registry.all
+
+(* identity baseline plus increasingly aggressive block coarsening:
+   the large factors multiply shared tiles past the per-block limit *)
+let specs =
+  Coarsen.spec ()
+  :: List.map (fun n -> Coarsen.spec ~block:(Coarsen.Total n) ()) [ 4; 16; 64 ]
+
+(* shmem rejections observed across the whole suite, per target *)
+let shmem_rejections : (string, int) Hashtbl.t = Hashtbl.create 4
+
+let record_rejection (t : Descriptor.t) =
+  let n = Option.value (Hashtbl.find_opt shmem_rejections t.Descriptor.name) ~default:0 in
+  Hashtbl.replace shmem_rejections t.Descriptor.name (n + 1)
+
+let check_bench (t : Descriptor.t) (b : Bench_def.t) () =
+  let m = Pgpu_frontend.Frontend.compile_string b.Bench_def.source in
+  let options = { (Pipeline.default_options t) with Pipeline.coarsen_specs = specs } in
+  let _, report = Pipeline.compile options m in
+  Alcotest.(check bool) "at least one kernel expanded" true (report.Pipeline.kernels <> []);
+  List.iter
+    (fun (kr : Pipeline.kernel_report) ->
+      let kept =
+        List.exists
+          (fun (c : Alternatives.candidate) -> c.Alternatives.decision = Alternatives.Kept)
+          kr.Pipeline.candidates
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%s: baseline survives" kr.Pipeline.kernel)
+        true kept;
+      List.iter
+        (fun (c : Alternatives.candidate) ->
+          match c.Alternatives.decision with
+          | Alternatives.Kept -> (
+              match c.Alternatives.stats with
+              | Some s ->
+                  if s.Backend.static_shmem > t.Descriptor.max_shmem_per_block then
+                    Alcotest.failf "%s/%s [%s]: kept with %d B static shmem > limit %d B"
+                      b.Bench_def.name kr.Pipeline.kernel c.Alternatives.desc
+                      s.Backend.static_shmem t.Descriptor.max_shmem_per_block
+              | None -> ())
+          | Alternatives.Rejected_shmem bytes ->
+              record_rejection t;
+              if bytes <= t.Descriptor.max_shmem_per_block then
+                Alcotest.failf "%s/%s [%s]: rejected %d B which fits the %d B limit"
+                  b.Bench_def.name kr.Pipeline.kernel c.Alternatives.desc bytes
+                  t.Descriptor.max_shmem_per_block
+          | Alternatives.Rejected_illegal _ | Alternatives.Rejected_spill _
+          | Alternatives.Rejected_occupancy _ ->
+              ())
+        kr.Pipeline.candidates)
+    report.Pipeline.kernels
+
+(* must run after all check_bench cases of this target *)
+let check_pruning_fires (t : Descriptor.t) () =
+  let n = Option.value (Hashtbl.find_opt shmem_rejections t.Descriptor.name) ~default:0 in
+  if n = 0 then
+    Alcotest.failf "no candidate was rejected for shared memory on %s" t.Descriptor.name
+
+let cases_for (t : Descriptor.t) =
+  List.map
+    (fun (b : Bench_def.t) ->
+      Alcotest.test_case (Fmt.str "%s on %s" b.Bench_def.name t.Descriptor.name) `Quick
+        (check_bench t b))
+    benches
+  @ [
+      Alcotest.test_case
+        (Fmt.str "shmem pruning fires on %s" t.Descriptor.name)
+        `Quick (check_pruning_fires t);
+    ]
+
+let suite = [ ("cross-target", cases_for Descriptor.a100 @ cases_for Descriptor.mi210) ]

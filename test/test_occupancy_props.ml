@@ -1,0 +1,111 @@
+(** Property tests for the occupancy calculator: algebraic invariants
+    that must hold for every target descriptor and every resource
+    demand, not just the hand-picked points of [Test_target]. *)
+
+module Descriptor = Pgpu_target.Descriptor
+module Occupancy = Pgpu_target.Occupancy
+
+let pp_demand ppf (d : Occupancy.demand) =
+  Fmt.pf ppf "{threads=%d; regs=%d; shmem=%d}" d.Occupancy.threads_per_block
+    d.Occupancy.regs_per_thread d.Occupancy.shmem_per_block
+
+let gen_target = QCheck.Gen.oneofl Descriptor.all
+
+(* ranges deliberately overshoot every limit so rejections are hit *)
+let gen_demand =
+  QCheck.Gen.(
+    map
+      (fun (threads_per_block, regs_per_thread, shmem_per_block) ->
+        { Occupancy.threads_per_block; regs_per_thread; shmem_per_block })
+      (triple (int_range 1 1536) (int_range 0 320) (int_range 0 180224)))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (t, d) -> Fmt.str "%s %a" t.Descriptor.name pp_demand d)
+    QCheck.Gen.(pair gen_target gen_demand)
+
+let arb_case_delta =
+  QCheck.make
+    ~print:(fun ((t, d), delta) -> Fmt.str "%s %a +%d" t.Descriptor.name pp_demand d delta)
+    QCheck.Gen.(pair (pair gen_target gen_demand) (int_range 0 64))
+
+(** An accepted demand always yields occupancy in (0, 1], at least one
+    resident block, and active warps consistent with the block count. *)
+let prop_occupancy_in_unit =
+  QCheck.Test.make ~name:"occupancy in (0,1] with consistent warp count" ~count:1000 arb_case
+    (fun (t, d) ->
+      match Occupancy.compute t d with
+      | Error _ -> true
+      | Ok r ->
+          let warps_per_block =
+            Pgpu_support.Util.ceil_div (max 1 d.Occupancy.threads_per_block)
+              t.Descriptor.warp_size
+          in
+          r.Occupancy.blocks_per_sm >= 1
+          && r.Occupancy.active_warps = r.Occupancy.blocks_per_sm * warps_per_block
+          && r.Occupancy.occupancy > 0.
+          && r.Occupancy.occupancy <= 1.)
+
+(** Adding registers can only shrink (or keep) the resident block
+    count: the register-file limit is antitone in per-thread demand. *)
+let prop_monotone_regs =
+  QCheck.Test.make ~name:"blocks/SM non-increasing in regs_per_thread" ~count:1000
+    arb_case_delta (fun ((t, d), delta) ->
+      let d' = { d with Occupancy.regs_per_thread = d.Occupancy.regs_per_thread + delta } in
+      match (Occupancy.compute t d, Occupancy.compute t d') with
+      | Ok r, Ok r' -> r'.Occupancy.blocks_per_sm <= r.Occupancy.blocks_per_sm
+      | Error _, Ok _ -> false (* relaxing nothing cannot un-reject *)
+      | _, Error _ -> true)
+
+(** Same antitonicity for static shared memory per block. *)
+let prop_monotone_shmem =
+  QCheck.Test.make ~name:"blocks/SM non-increasing in shmem_per_block" ~count:1000
+    arb_case_delta (fun ((t, d), delta) ->
+      let d' =
+        { d with Occupancy.shmem_per_block = d.Occupancy.shmem_per_block + (delta * 256) }
+      in
+      match (Occupancy.compute t d, Occupancy.compute t d') with
+      | Ok r, Ok r' -> r'.Occupancy.blocks_per_sm <= r.Occupancy.blocks_per_sm
+      | Error _, Ok _ -> false
+      | _, Error _ -> true)
+
+(** [compute] is total: infeasible demands surface as [Error], never as
+    an exception, and [check]'s verdict agrees with [compute]'s. *)
+let prop_compute_total =
+  QCheck.Test.make ~name:"compute never raises and agrees with check" ~count:1000 arb_case
+    (fun (t, d) ->
+      match Occupancy.compute t d with
+      | exception e -> QCheck.Test.fail_reportf "compute raised %s" (Printexc.to_string e)
+      | Ok _ -> ( match Occupancy.check t d with Ok () -> true | Error _ -> false)
+      | Error r -> (
+          (* compute may reject late (register packing), but a check
+             rejection must carry through to compute unchanged *)
+          match Occupancy.check t d with
+          | Ok () -> r = Occupancy.Too_many_regs
+          | Error r' -> r = r'))
+
+(** [compute_exn] is [compute] with [Ok] unwrapped and [Error] turned
+    into [Invalid_argument]. *)
+let prop_compute_exn_agrees =
+  QCheck.Test.make ~name:"compute_exn agrees with compute" ~count:1000 arb_case (fun (t, d) ->
+      match Occupancy.compute t d with
+      | Ok r ->
+          let r' = Occupancy.compute_exn t d in
+          r.Occupancy.blocks_per_sm = r'.Occupancy.blocks_per_sm
+          && r.Occupancy.limiter = r'.Occupancy.limiter
+      | Error _ -> (
+          match Occupancy.compute_exn t d with
+          | exception Invalid_argument _ -> true
+          | _ -> false))
+
+let suite =
+  [
+    ( "occupancy-props",
+      [
+        QCheck_alcotest.to_alcotest prop_occupancy_in_unit;
+        QCheck_alcotest.to_alcotest prop_monotone_regs;
+        QCheck_alcotest.to_alcotest prop_monotone_shmem;
+        QCheck_alcotest.to_alcotest prop_compute_total;
+        QCheck_alcotest.to_alcotest prop_compute_exn_agrees;
+      ] );
+  ]
