@@ -11,6 +11,25 @@ module Descriptor = Pgpu_target.Descriptor
 
 let quick = Array.exists (String.equal "--quick") Sys.argv
 
+(** [--metrics-dir DIR]: write each experiment's data as
+    DIR/<experiment>.json next to the printed tables. *)
+let metrics_dir =
+  let rec find = function
+    | "--metrics-dir" :: dir :: _ -> Some dir
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let write_metrics name json =
+  match metrics_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".json") in
+      Pgpu_trace.Json.to_file path json;
+      Fmt.pr "[%s metrics written to %s]@." name path
+
 (** In quick mode the composite experiments use a subset of benchmarks
     (handy while iterating). *)
 let benches () =
@@ -25,27 +44,30 @@ let heading name = Fmt.pr "@.################ %s ################@.@." name
 
 let fig13 () =
   heading "Experiment 1 (Fig. 13, Section VII-B)";
-  ignore (E.fig13 ~benches:(benches ()) ())
+  write_metrics "fig13" (E.json_of_fig13 (E.fig13 ~benches:(benches ()) ()))
 
 let fig14 () =
   heading "Fig. 14";
-  ignore (E.fig14 ())
+  write_metrics "fig14" (E.json_of_sweep (E.fig14 ()))
 
 let fig15 () =
   heading "Fig. 15";
-  ignore (E.fig15 ())
+  write_metrics "fig15" (E.json_of_sweep (E.fig15 ()))
 
 let table2 () =
   heading "Table II";
-  ignore (E.table2 ())
+  write_metrics "table2" (E.json_of_table2 (E.table2 ()))
 
 let fig16 () =
   heading "Experiments 2 and 3 (Fig. 16)";
-  ignore (E.fig16 ~benches:(benches ()) ())
+  write_metrics "fig16" (E.json_of_fig16 (E.fig16 ~benches:(benches ()) ()))
 
 let fig17 () =
   heading "Fig. 17";
-  ignore (E.fig17 ~benches:(benches ()) ())
+  let nv, amd = E.fig17 ~benches:(benches ()) () in
+  write_metrics "fig17"
+    (Pgpu_trace.Json.Obj
+       [ ("a4000", E.json_of_composite nv); ("rx6800", E.json_of_composite amd) ])
 
 let hipify () =
   heading "Section VII-D1 (ease of use)";
@@ -196,7 +218,15 @@ let () =
       ("all", all);
     ]
   in
-  let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick") in
+  let args =
+    let rec clean = function
+      | "--metrics-dir" :: _ :: rest -> clean rest
+      | "--quick" :: rest -> clean rest
+      | a :: rest -> a :: clean rest
+      | [] -> []
+    in
+    Array.to_list Sys.argv |> List.tl |> clean
+  in
   match args with
   | [] -> all ()
   | names ->

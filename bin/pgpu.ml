@@ -9,14 +9,44 @@ module P = Pgpu_core.Polygeist_gpu
 module Descriptor = Pgpu_target.Descriptor
 open Cmdliner
 
-let setup_logs verbose =
-  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
-  Logs.set_reporter (Logs_fmt.reporter ())
+let is_pgpu_src src =
+  let name = Logs.Src.name src in
+  String.length name >= 5 && String.sub name 0 5 = "pgpu."
+
+(** [-v] raises the pgpu.* sources (pipeline, runtime, simulator) to
+    Debug; [-vv] raises everything; [--debug SRC] raises one source. *)
+let setup_logs verbosity debug_srcs =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  (match verbosity with
+  | 0 -> Logs.set_level (Some Logs.Info)
+  | 1 ->
+      Logs.set_level (Some Logs.Info);
+      List.iter
+        (fun src -> if is_pgpu_src src then Logs.Src.set_level src (Some Logs.Debug))
+        (Logs.Src.list ())
+  | _ -> Logs.set_level (Some Logs.Debug));
+  List.iter
+    (fun name ->
+      match List.find_opt (fun s -> Logs.Src.name s = name) (Logs.Src.list ()) with
+      | Some src -> Logs.Src.set_level src (Some Logs.Debug)
+      | None -> Logs.warn (fun m -> m "unknown log source %S (see pgpu list)" name))
+    debug_srcs
 
 let setup_logs_t =
   Term.(
     const setup_logs
-    $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging (shows TDO decisions)."))
+    $ (const List.length
+      $ Arg.(
+          value & flag_all
+          & info [ "v"; "verbose" ]
+              ~doc:
+                "Verbose logging. Once: debug output from the pgpu.* subsystems (pipeline, \
+                 runtime, simulator). Twice: debug output from everything."))
+    $ Arg.(
+        value
+        & opt_all string []
+        & info [ "debug" ] ~docv:"SRC"
+            ~doc:"Enable debug logging for one log source (e.g. pgpu.runtime); repeatable."))
 
 (* --- common arguments --- *)
 
@@ -62,6 +92,42 @@ let args_arg =
 
 let specs_of coarsen = if coarsen = [] then [] else P.specs_of_totals coarsen
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file (loadable in Perfetto / chrome://tracing) \
+           with compiler pass spans, alternatives pruning events, kernel launches and TDO \
+           trials.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a flat JSON file of trace-derived metrics (span totals, counters).")
+
+(** Run [f] with a tracer (live only when some output was requested),
+    then write the requested trace/metrics files. *)
+let with_tracer trace metrics f =
+  let tracer =
+    if trace = None && metrics = None then P.Tracer.disabled else P.Tracer.create ()
+  in
+  let code = f tracer in
+  Option.iter
+    (fun path ->
+      P.Trace.Chrome.write_file path tracer;
+      Logs.info (fun m -> m "trace written to %s" path))
+    trace;
+  Option.iter
+    (fun path ->
+      P.Trace.Metrics.write_file path tracer;
+      Logs.info (fun m -> m "metrics written to %s" path))
+    metrics;
+  code
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -73,9 +139,10 @@ let read_file path =
 
 let compile_cmd =
   let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the final IR module.") in
-  let run () file target no_opt coarsen dump =
+  let run () file target no_opt coarsen dump trace metrics =
+    with_tracer trace metrics @@ fun tracer ->
     let c =
-      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~target
+      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tracer ~target
         ~source:(read_file file) ()
     in
     List.iter
@@ -96,7 +163,9 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a mini-CUDA file and report multi-versioning decisions.")
-    Term.(const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ dump_ir)
+    Term.(
+      const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ dump_ir
+      $ trace_arg $ metrics_arg)
 
 (* --- run --- *)
 
@@ -117,12 +186,13 @@ let print_run_summary (r : P.run_result) =
     (P.kernel_names r)
 
 let run_cmd =
-  let run () file target no_opt coarsen tune choice args =
+  let run () file target no_opt coarsen tune choice args trace metrics =
+    with_tracer trace metrics @@ fun tracer ->
     let c =
-      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~target
+      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tracer ~target
         ~source:(read_file file) ()
     in
-    let r = P.run ~tune ~fixed_choice:choice c ~args in
+    let r = P.run ~tune ~fixed_choice:choice ~tracer c ~args in
     print_run_summary r;
     0
   in
@@ -130,7 +200,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute a mini-CUDA file on the simulated GPU.")
     Term.(
       const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
-      $ choice_arg $ args_arg)
+      $ choice_arg $ args_arg $ trace_arg $ metrics_arg)
 
 (* --- bench --- *)
 
@@ -147,14 +217,15 @@ let bench_cmd =
   let perf_arg =
     Arg.(value & flag & info [ "perf" ] ~doc:"Evaluation-scale problem size, sampled grids.")
   in
-  let run () name target no_opt coarsen tune verify perf args =
+  let run () name target no_opt coarsen tune verify perf args trace metrics =
+    with_tracer trace metrics @@ fun tracer ->
     let b =
       try P.Rodinia.find name with Failure _ -> P.Hecbench.find name
     in
     let args = if args = [] then None else Some args in
     let r =
-      P.run_rodinia ~verify ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tune ~perf ~target
-        ?args b
+      P.run_rodinia ~verify ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tune ~perf
+        ~tracer ~target ?args b
     in
     print_run_summary r;
     if verify then Fmt.pr "outputs verified against the CPU reference.@.";
@@ -164,7 +235,36 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Run a bundled Rodinia benchmark.")
     Term.(
       const run $ setup_logs_t $ name_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
-      $ verify_arg $ perf_arg $ args_arg)
+      $ verify_arg $ perf_arg $ args_arg $ trace_arg $ metrics_arg)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let run () file target no_opt coarsen tune choice args trace metrics as_json =
+    with_tracer trace metrics @@ fun tracer ->
+    let c =
+      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tracer ~target
+        ~source:(read_file file) ()
+    in
+    let r = P.run ~tune ~fixed_choice:choice ~tracer c ~args in
+    let report = P.Profile.of_run ~composite_seconds:r.P.composite_seconds r.P.records in
+    if as_json then
+      Fmt.pr "%s@." (P.Trace.Json.to_string_pretty (P.Profile.json_of_report report))
+    else Fmt.pr "%a" P.Profile.pp_report report;
+    0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile, run and print an Nsight-Compute-style per-kernel report (the Table II \
+          metric set: duration, occupancy, LSU/FMA utilization, cache and shared-memory \
+          traffic).")
+    Term.(
+      const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
+      $ choice_arg $ args_arg $ trace_arg $ metrics_arg $ json_arg)
 
 (* --- hipify --- *)
 
@@ -207,6 +307,6 @@ let main =
        ~doc:
          "Retargeting and respecializing GPU workloads for performance portability \
           (CGO 2024 reproduction on simulated GPUs).")
-    [ compile_cmd; run_cmd; bench_cmd; hipify_cmd; list_cmd ]
+    [ compile_cmd; run_cmd; bench_cmd; profile_cmd; hipify_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

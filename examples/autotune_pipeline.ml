@@ -9,7 +9,11 @@ module P = Pgpu_core.Polygeist_gpu
 module Alternatives = Pgpu_transforms.Alternatives
 
 let () =
-  Logs.set_level (Some Logs.Debug);
+  (* debug only the decision-level sources; pgpu.gpusim at Debug would
+     print one line per launch *)
+  Logs.set_level (Some Logs.Info);
+  Logs.Src.set_level Pgpu_transforms.Pipeline.src (Some Logs.Debug);
+  Logs.Src.set_level Pgpu_runtime.Runtime.src (Some Logs.Debug);
   Logs.set_reporter (Logs_fmt.reporter ());
   let b = P.Rodinia.find "srad_v1" in
   (* a deliberately wide spread, including configurations that the

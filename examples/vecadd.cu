@@ -1,0 +1,32 @@
+// Vector addition in the mini-CUDA dialect: the smallest end-to-end
+// input for `pgpu run` / `pgpu profile`. Try:
+//
+//   pgpu profile examples/vecadd.cu --args 65536 -c 1,1 -c 4,2 --tune
+//   pgpu run examples/vecadd.cu --args 4096 --trace trace.json
+
+#define BS 256
+
+__global__ void vecadd(float* a, float* b, float* c, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+float* main(int n) {
+  float* ha = (float*)malloc(n * sizeof(float));
+  float* hb = (float*)malloc(n * sizeof(float));
+  float* hc = (float*)malloc(n * sizeof(float));
+  fill_rand(ha, 11);
+  fill_rand(hb, 22);
+  float* da; float* db; float* dc;
+  cudaMalloc((void**)&da, n * sizeof(float));
+  cudaMalloc((void**)&db, n * sizeof(float));
+  cudaMalloc((void**)&dc, n * sizeof(float));
+  cudaMemcpy(da, ha, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(db, hb, n * sizeof(float), cudaMemcpyHostToDevice);
+  int grid = (n + BS - 1) / BS;
+  vecadd<<<grid, BS>>>(da, db, dc, n);
+  cudaMemcpy(hc, dc, n * sizeof(float), cudaMemcpyDeviceToHost);
+  return hc;
+}

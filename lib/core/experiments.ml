@@ -487,3 +487,79 @@ let hipify_ease ?(benches = Rodinia.all) () =
   in
   print_table [ "benchmark"; "hipify manual steps"; "first issue"; "Polygeist-GPU steps" ] rows;
   fpr "@."
+
+(* ------------------------------------------------------------------ *)
+(* JSON forms of the experiment data (bench harness --metrics-dir)     *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Pgpu_trace.Json
+
+let json_of_outcome = function
+  | Speedup s -> Json.Float s
+  | Pruned d -> Json.Str (Fmt.str "pruned: %a" Alternatives.pp_decision d)
+
+let json_of_fig13 (data : kernel_speedups list) : Json.t =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("bench", Json.Str e.bench);
+             ("kernel", Json.Str e.kernel);
+             ("thread_only", Json.Float e.thread_only);
+             ("block_only", Json.Float e.block_only);
+             ("combined", Json.Float e.combined);
+           ])
+       data)
+
+let json_of_sweep (data : sweep_cell list) : Json.t =
+  Json.List
+    (List.map
+       (fun c ->
+         Json.Obj
+           [
+             ("block_f", Json.Int c.block_f);
+             ("thread_f", Json.Int c.thread_f);
+             ("speedup", json_of_outcome c.speedup);
+           ])
+       data)
+
+let json_of_table2 (data : profile list) : Json.t =
+  Json.List
+    (List.map
+       (fun p ->
+         Json.Obj
+           [
+             ("config", Json.Str p.config);
+             ("runtime_s", Json.Float p.runtime);
+             ("lsu_utilization", Json.Float p.lsu_util);
+             ("fma_utilization", Json.Float p.fma_util);
+             ("l2_l1_read_mb", Json.Float p.l2_l1_read_mb);
+             ("l1_l2_write_mb", Json.Float p.l1_l2_write_mb);
+             ("l1_sm_read_req_m", Json.Float p.l1_sm_read_req_m);
+             ("sm_l1_write_req_m", Json.Float p.sm_l1_write_req_m);
+             ("shmem_read_req_m", Json.Float p.shmem_read_req_m);
+             ("shmem_write_req_m", Json.Float p.shmem_write_req_m);
+           ])
+       data)
+
+let json_of_composite (data : composite_entry list) : Json.t =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("bench", Json.Str e.bench_name);
+             ("clang_s", Json.Float e.clang);
+             ("pg_s", Json.Float e.pg);
+             ("pg_opt_s", Json.Float e.pg_opt);
+           ])
+       data)
+
+let json_of_fig16 (data : (Descriptor.t * composite_entry list) list) : Json.t =
+  Json.List
+    (List.map
+       (fun ((t : Descriptor.t), entries) ->
+         Json.Obj
+           [ ("target", Json.Str t.Descriptor.name); ("benchmarks", json_of_composite entries) ])
+       data)

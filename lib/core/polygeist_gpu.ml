@@ -32,6 +32,9 @@ module Retarget = Pgpu_retarget.Retarget
 module Rodinia = Pgpu_rodinia.Registry
 module Hecbench = Pgpu_hecbench.Registry
 module Bench_def = Pgpu_rodinia.Bench_def
+module Trace = Pgpu_trace
+module Tracer = Pgpu_trace.Tracer
+module Profile = Pgpu_profile
 
 type compiled = {
   target : Descriptor.t;
@@ -53,11 +56,18 @@ let spec ?block ?thread ?block_mapping ?thread_mapping () =
 
 (** Compile mini-CUDA source for a target.
     @param optimize scalar optimizations (CSE, LICM, ...); on by default
-    @param specs coarsening configurations to multi-version with *)
-let compile ?(optimize = true) ?(specs = []) ~(target : Descriptor.t) ~source () : compiled =
+    @param specs coarsening configurations to multi-version with
+    @param tracer pass/pruning telemetry sink (default: disabled) *)
+let compile ?(optimize = true) ?(specs = []) ?(tracer = Tracer.disabled)
+    ~(target : Descriptor.t) ~source () : compiled =
   let m = Frontend.compile_string source in
   let opts =
-    { (Pipeline.default_options target) with Pipeline.optimize; coarsen_specs = specs }
+    {
+      (Pipeline.default_options target) with
+      Pipeline.optimize;
+      coarsen_specs = specs;
+      tracer;
+    }
   in
   let modul, report = Pipeline.compile opts m in
   { target; modul; report }
@@ -74,7 +84,7 @@ type run_result = {
     @param functional execute every block (exact outputs); disable for
     timing-only sweeps on large grids *)
 let run ?(tune = false) ?(fixed_choice = 0) ?(functional = true) ?(sample_blocks = 24)
-    (c : compiled) ~(args : int list) : run_result =
+    ?(tracer = Tracer.disabled) (c : compiled) ~(args : int list) : run_result =
   let config =
     {
       (Runtime.default_config c.target) with
@@ -82,6 +92,7 @@ let run ?(tune = false) ?(fixed_choice = 0) ?(functional = true) ?(sample_blocks
       fixed_choice;
       functional;
       sample_blocks;
+      tracer;
     }
   in
   let results, st = Runtime.run config c.modul (List.map (fun n -> Exec.UI n) args) in
@@ -111,16 +122,17 @@ let kernel_names (r : run_result) =
     are sampled (timing-only) unless the benchmark's host control flow
     depends on computed data. *)
 let run_rodinia ?(verify = false) ?(optimize = true) ?(specs = []) ?(tune = specs <> [])
-    ?(perf = false) ~(target : Descriptor.t) ?args (b : Bench_def.t) : run_result =
+    ?(perf = false) ?(tracer = Tracer.disabled) ~(target : Descriptor.t) ?args
+    (b : Bench_def.t) : run_result =
   let args =
     Option.value args ~default:(if perf then b.Bench_def.perf_args else b.Bench_def.args)
   in
   let functional = (not perf) || b.Bench_def.data_dependent_host in
-  let c = compile ~optimize ~specs ~target ~source:b.Bench_def.source () in
+  let c = compile ~optimize ~specs ~tracer ~target ~source:b.Bench_def.source () in
   (* evaluation-scale runs sample fewer blocks per launch: the grids
      are uniform enough that 12 representative blocks extrapolate *)
   let sample_blocks = if perf then 12 else 24 in
-  let r = run ~tune ~functional ~sample_blocks c ~args in
+  let r = run ~tune ~functional ~sample_blocks ~tracer c ~args in
   if verify then begin
     let expected = b.Bench_def.reference args in
     let got = List.hd r.outputs in

@@ -14,6 +14,10 @@
 
 open Pgpu_ir
 
+let src = Logs.Src.create "pgpu.gpusim" ~doc:"Polygeist-GPU simulator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 (** Runtime values: uniform scalars or per-lane vectors. *)
 type rv =
   | UI of int
@@ -713,6 +717,9 @@ let launch (m : machine) ~(mode : mode) ~(env : env) (p : Instr.instr) : launch_
       let delta = m.counters in
       Counters.accumulate saved delta;
       m.counters <- saved;
+      Log.debug (fun k ->
+          k "launch: %d block(s) x %d thread(s), %.3g warp instr(s)" total !result_threads
+            delta.Counters.warp_insts);
       {
         nblocks = total;
         threads_per_block = !result_threads;

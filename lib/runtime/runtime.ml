@@ -9,6 +9,12 @@ open Pgpu_ir
 open Pgpu_gpusim
 module Descriptor = Pgpu_target.Descriptor
 module Backend = Pgpu_target.Backend
+module Tracer = Pgpu_trace.Tracer
+module Json = Pgpu_trace.Json
+
+let src = Logs.Src.create "pgpu.runtime" ~doc:"Polygeist-GPU host runtime"
+
+module Log = (val Logs.src_log src : Logs.LOG)
 
 type launch_record = {
   kernel : string;
@@ -31,6 +37,9 @@ type config = {
   host_op_cost : float;  (** seconds charged per interpreted host instruction *)
   memcpy_overhead : float;  (** fixed seconds per cudaMemcpy *)
   seed : int;
+  tracer : Tracer.t;
+      (** launch/memcpy/TDO telemetry sink, timestamped in simulated
+          composite time; [Tracer.disabled] = off *)
 }
 
 let default_config target =
@@ -43,6 +52,7 @@ let default_config target =
     host_op_cost = 2e-9;
     memcpy_overhead = 10e-6;
     seed = 0x5eed;
+    tracer = Tracer.disabled;
   }
 
 type state = {
@@ -80,6 +90,10 @@ exception Host_error of string
 let host_fail fmt = Fmt.kstr (fun s -> raise (Host_error s)) fmt
 
 let charge st seconds = if not st.trial then st.composite <- st.composite +. seconds
+
+(* trace timestamps are simulated composite time, in microseconds (the
+   unit of the Chrome trace-event format) *)
+let ticks st = st.composite *. 1e6
 
 (* ------------------------------------------------------------------ *)
 (* Scalar host evaluation                                              *)
@@ -257,8 +271,22 @@ let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
             }
           in
           let breakdown = Timing.estimate st.config.target ~demand result in
+          let t0 = ticks st in
           charge st breakdown.Timing.seconds;
-          if not st.trial then
+          if not st.trial then begin
+            Tracer.span_at st.config.tracer ~cat:"kernel" ~ts:t0
+              ~dur:(breakdown.Timing.seconds *. 1e6)
+              ~args:
+                [
+                  ("kernel", Json.Str name);
+                  ("alternative", if alt >= 0 then Json.Int alt else Json.Null);
+                  ("nblocks", Json.Int result.Exec.nblocks);
+                  ("threads_per_block", Json.Int result.Exec.threads_per_block);
+                  ("seconds", Json.Float breakdown.Timing.seconds);
+                  ( "occupancy",
+                    Json.Float breakdown.Timing.occupancy.Pgpu_target.Occupancy.occupancy );
+                ]
+              ("kernel:" ^ name);
             st.records <-
               {
                 kernel = name;
@@ -270,6 +298,7 @@ let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
                 seconds = breakdown.Timing.seconds;
               }
               :: st.records
+          end
       | _ -> exec_host_instr st i)
     region
 
@@ -331,15 +360,35 @@ and choose_alternative st ~name ~wid ~signature (aid : int) (descs : string list
                       !probe
                     with Timing.Infeasible _ | Exec.Device_error _ -> infinity)
               in
+              Tracer.instant_at st.config.tracer ~cat:"tdo" ~ts:(ticks st)
+                ~args:
+                  [
+                    ("kernel", Json.Str name);
+                    ("alternative", Json.Int k);
+                    ("spec", Json.Str (List.nth descs k));
+                    ("seconds", Json.Float t);
+                    ("feasible", Json.Bool (Float.is_finite t));
+                  ]
+                "tdo:trial";
               if t < !best_t then begin
                 best := k;
                 best_t := t
               end)
             regions;
           if !best < 0 then host_fail "no feasible alternative for kernel %s" name;
-          Logs.debug (fun m ->
+          Log.debug (fun m ->
               m "TDO: kernel %s chose alternative %d (%s), %.3g s" name !best
                 (List.nth descs !best) !best_t);
+          Tracer.instant_at st.config.tracer ~cat:"tdo" ~ts:(ticks st)
+            ~args:
+              [
+                ("kernel", Json.Str name);
+                ("signature", Json.Str signature);
+                ("alternative", Json.Int !best);
+                ("spec", Json.Str (List.nth descs !best));
+                ("seconds", Json.Float !best_t);
+              ]
+            "tdo:choice";
           !best
         end
       in
@@ -443,11 +492,23 @@ and exec_host_instr st (i : Instr.instr) : unit =
       Memory.copy ~dst:d ~src:s n;
       let bytes = float_of_int (n * Memory.elt_size d) in
       let crosses_pcie = d.Memory.space <> s.Memory.space in
-      if crosses_pcie then
-        charge st
-          (st.config.memcpy_overhead
-          +. (bytes /. (st.config.target.Descriptor.h2d_bandwidth_gbs *. 1e9)))
-      else charge st (bytes /. (st.config.target.Descriptor.mem_bandwidth_gbs *. 1e9))
+      let seconds =
+        if crosses_pcie then
+          st.config.memcpy_overhead
+          +. (bytes /. (st.config.target.Descriptor.h2d_bandwidth_gbs *. 1e9))
+        else bytes /. (st.config.target.Descriptor.mem_bandwidth_gbs *. 1e9)
+      in
+      let t0 = ticks st in
+      charge st seconds;
+      if not st.trial then
+        Tracer.span_at st.config.tracer ~cat:"memcpy" ~ts:t0 ~dur:(seconds *. 1e6)
+          ~args:
+            [
+              ("bytes", Json.Float bytes);
+              ("pcie", Json.Bool crosses_pcie);
+              ("seconds", Json.Float seconds);
+            ]
+          "memcpy"
   | Instr.Gpu_wrapper { wid; name; body } -> exec_wrapper st ~name ~wid body
   | Instr.Intrinsic { results; name; args } -> eval_intrinsic st results name args
   | Instr.Alternatives _ -> host_fail "alternatives outside gpu_wrapper"

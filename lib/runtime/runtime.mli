@@ -10,6 +10,10 @@ open Pgpu_gpusim
 module Descriptor = Pgpu_target.Descriptor
 module Backend = Pgpu_target.Backend
 
+(** Per-subsystem log source ("pgpu.runtime"), for scoping [-v] debug
+    output (e.g. TDO decisions) to the runtime. *)
+val src : Logs.src
+
 type launch_record = {
   kernel : string;
   wid : int;
@@ -31,6 +35,9 @@ type config = {
   host_op_cost : float;  (** seconds per interpreted host instruction *)
   memcpy_overhead : float;  (** fixed seconds per cudaMemcpy *)
   seed : int;
+  tracer : Pgpu_trace.Tracer.t;
+      (** launch/memcpy/TDO telemetry sink, timestamped in simulated
+          composite time; [Tracer.disabled] (the default) = off *)
 }
 
 val default_config : Descriptor.t -> config

@@ -1,0 +1,81 @@
+(** Chrome trace-event exporter.
+
+    Renders a tracer's events as the Trace Event Format consumed by
+    Perfetto / [chrome://tracing]: spans become complete ("X") events,
+    instants "i", counters "C". Event categories are mapped to
+    threads of one process so the compiler pipeline and the simulated
+    runtime appear as separate named tracks, with thread-name metadata
+    events emitted up front. Timestamps are microseconds. *)
+
+let process_name = "pgpu"
+
+(** Stable category -> tid mapping, in order of first appearance;
+    uncategorized events share tid 0. *)
+let tid_table (events : Tracer.event list) : (string * int) list =
+  let next = ref 0 in
+  List.fold_left
+    (fun acc e ->
+      let cat = match e with Tracer.Span { cat; _ } | Tracer.Instant { cat; _ } -> cat | Tracer.Counter _ -> "" in
+      if List.mem_assoc cat acc then acc
+      else begin
+        let tid = !next in
+        incr next;
+        (cat, tid) :: acc
+      end)
+    [] events
+  |> List.rev
+
+let json_of_events (events : Tracer.event list) : Json.t =
+  let tids = tid_table events in
+  let tid cat = match List.assoc_opt cat tids with Some t -> t | None -> 0 in
+  let base name cat ph ts =
+    [
+      ("name", Json.Str name);
+      ("cat", Json.Str (if cat = "" then "pgpu" else cat));
+      ("ph", Json.Str ph);
+      ("ts", Json.Float ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int (tid cat));
+    ]
+  in
+  let args_field args = if args = [] then [] else [ ("args", Json.Obj args) ] in
+  let event_json (e : Tracer.event) : Json.t =
+    match e with
+    | Tracer.Span { name; cat; ts; dur; args } ->
+        Json.Obj (base name cat "X" ts @ [ ("dur", Json.Float dur) ] @ args_field args)
+    | Tracer.Instant { name; cat; ts; args } ->
+        Json.Obj (base name cat "i" ts @ [ ("s", Json.Str "t") ] @ args_field args)
+    | Tracer.Counter { name; ts; value } ->
+        Json.Obj (base name "" "C" ts @ [ ("args", Json.Obj [ (name, Json.Float value) ]) ])
+  in
+  let metadata =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+    :: List.map
+         (fun (cat, tid) ->
+           Json.Obj
+             [
+               ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int tid);
+               ("args", Json.Obj [ ("name", Json.Str (if cat = "" then "events" else cat)) ]);
+             ])
+         tids
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metadata @ List.map event_json events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string tracer = Json.to_string (json_of_events (Tracer.events tracer))
+
+let write_file path tracer =
+  Tracer.close_all tracer;
+  Json.to_file path (json_of_events (Tracer.events tracer))

@@ -1,0 +1,10 @@
+(** Chrome trace-event exporter: renders tracer events in the Trace
+    Event Format consumed by Perfetto / [chrome://tracing]. Spans
+    become complete ("X") events, instants "i", counters "C";
+    categories map to named threads of one process. *)
+
+val json_of_events : Tracer.event list -> Json.t
+val to_string : Tracer.t -> string
+
+(** Close open spans and write the trace (pretty-printed) to a file. *)
+val write_file : string -> Tracer.t -> unit

@@ -1,0 +1,45 @@
+(** Flat metrics exporter.
+
+    Reduces a trace to a single flat JSON object suitable for diffing
+    and dashboards: the final value of every counter, and per-span-name
+    totals/counts. Keys are ["counter.<name>"], ["span.<name>.count"],
+    ["span.<name>.total"] and ["instant.<name>.count"]. *)
+
+let of_events (events : Tracer.event list) : Json.t
+    =
+  let counters = Hashtbl.create 16 in
+  let span_count = Hashtbl.create 16 in
+  let span_total = Hashtbl.create 16 in
+  let instants = Hashtbl.create 16 in
+  let bump tbl k v = Hashtbl.replace tbl k (v +. try Hashtbl.find tbl k with Not_found -> 0.) in
+  List.iter
+    (fun (e : Tracer.event) ->
+      match e with
+      | Tracer.Counter { name; value; _ } -> Hashtbl.replace counters name value
+      | Tracer.Span { name; dur; _ } ->
+          bump span_count name 1.;
+          bump span_total name dur
+      | Tracer.Instant { name; _ } -> bump instants name 1.)
+    events;
+  let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare in
+  let fields =
+    List.concat
+      [
+        List.map (fun (k, v) -> ("counter." ^ k, Json.Float v)) (sorted counters);
+        List.concat_map
+          (fun (k, v) ->
+            [
+              ("span." ^ k ^ ".count", Json.Float v);
+              ("span." ^ k ^ ".total", Json.Float (try Hashtbl.find span_total k with Not_found -> 0.));
+            ])
+          (sorted span_count);
+        List.map (fun (k, v) -> ("instant." ^ k ^ ".count", Json.Float v)) (sorted instants);
+      ]
+  in
+  Json.Obj fields
+
+let of_tracer tracer = of_events (Tracer.events tracer)
+
+let write_file path tracer =
+  Tracer.close_all tracer;
+  Json.to_file path (of_tracer tracer)

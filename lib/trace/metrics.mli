@@ -1,0 +1,9 @@
+(** Flat metrics exporter: reduces a trace to one flat JSON object —
+    the final value of each counter plus per-span-name totals and
+    counts — for diffing and dashboards. *)
+
+val of_events : Tracer.event list -> Json.t
+val of_tracer : Tracer.t -> Json.t
+
+(** Close open spans and write the metrics object to a file. *)
+val write_file : string -> Tracer.t -> unit

@@ -19,6 +19,8 @@ open Pgpu_ir
 module Descriptor = Pgpu_target.Descriptor
 module Backend = Pgpu_target.Backend
 module Occupancy = Pgpu_target.Occupancy
+module Tracer = Pgpu_trace.Tracer
+module Json = Pgpu_trace.Json
 
 type decision =
   | Kept
@@ -60,11 +62,36 @@ let static_block_size ~const_of region =
     region;
   !r
 
+(** One trace event per candidate: the spec, the decision (with the
+    exact rejection reason) and the backend statistics the decision
+    consulted. *)
+let trace_candidate tracer (c : candidate) =
+  if Tracer.enabled tracer then
+    let stat_args =
+      match c.stats with
+      | None -> []
+      | Some s ->
+          [
+            ("regs", Json.Int s.Backend.regs_per_thread);
+            ("spilled", Json.Int s.Backend.spilled);
+            ("shmem", Json.Int s.Backend.static_shmem);
+            ("ilp", Json.Float s.Backend.ilp);
+            ("mlp", Json.Float s.Backend.mlp);
+          ]
+    in
+    Tracer.instant tracer ~cat:"alternatives"
+      ~args:
+        (("spec", Json.Str c.desc)
+        :: ("decision", Json.Str (Fmt.str "%a" pp_decision c.decision))
+        :: ("kept", Json.Bool (c.decision = Kept))
+        :: stat_args)
+      ("candidate:" ^ c.desc)
+
 (** Expand one kernel region into alternatives for the given coarsening
     specs. The first spec should be the identity so a baseline always
     survives. Returns the new region together with the pruning report. *)
-let expand (t : Descriptor.t) ?(outer_const = fun _ -> None) ~(specs : Coarsen.spec list)
-    (region : Instr.block) : Instr.block * candidate list =
+let expand (t : Descriptor.t) ?(tracer = Tracer.disabled) ?(outer_const = fun _ -> None)
+    ~(specs : Coarsen.spec list) (region : Instr.block) : Instr.block * candidate list =
   let with_outer local v = match local v with Some n -> Some n | None -> outer_const v in
   let baseline_stats = Backend.analyze t (cleanup region) in
   let candidates =
@@ -113,6 +140,7 @@ let expand (t : Descriptor.t) ?(outer_const = fun _ -> None) ~(specs : Coarsen.s
       specs
   in
   let report = List.map fst candidates in
+  List.iter (trace_candidate tracer) report;
   let kept =
     List.filter_map (fun (c, r) -> Option.map (fun region -> (c.desc, region)) r) candidates
   in

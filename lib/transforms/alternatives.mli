@@ -32,11 +32,15 @@ val cleanup : Instr.block -> Instr.block
 
 (** Expand one kernel region into alternatives for the given specs.
     [outer_const] resolves constants defined outside the region (e.g.
-    block dimensions deduplicated into the host code by CSE). Returns
-    the new region and the pruning report; when at most one candidate
-    survives, no [Alternatives] op is introduced. *)
+    block dimensions deduplicated into the host code by CSE). With a
+    [tracer], one instant event is emitted per candidate carrying the
+    spec, the decision (including the exact rejection reason) and the
+    backend statistics consulted. Returns the new region and the
+    pruning report; when at most one candidate survives, no
+    [Alternatives] op is introduced. *)
 val expand :
   Descriptor.t ->
+  ?tracer:Pgpu_trace.Tracer.t ->
   ?outer_const:(Value.t -> int option) ->
   specs:Coarsen.spec list ->
   Instr.block ->

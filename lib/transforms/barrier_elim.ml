@@ -16,6 +16,9 @@
 
 open Pgpu_ir
 
+(* barriers removed by the last [run_*] call (pass telemetry) *)
+let rewrites = ref 0
+
 let rec writes_memory (i : Instr.instr) =
   match i with
   | Instr.Store _ | Instr.Memcpy _ | Instr.Intrinsic _ -> true
@@ -55,7 +58,10 @@ let sweep_block (body : Instr.block) : Instr.block =
               dirty := false;
               Some i
             end
-            else None
+            else begin
+              incr rewrites;
+              None
+            end
         | _ ->
             if touches_memory i then dirty := true;
             Some i)
@@ -67,27 +73,44 @@ let sweep_block (body : Instr.block) : Instr.block =
     | [] -> rev_acc
     | (Instr.Barrier _ as i) :: rest ->
         if seen_mem then backward (rev_acc @ [ i ]) seen_mem rest
-        else backward rev_acc seen_mem rest
+        else begin
+          incr rewrites;
+          backward rev_acc seen_mem rest
+        end
     | i :: rest -> backward (rev_acc @ [ i ]) (seen_mem || touches_memory i) rest
   in
   List.rev (backward [] false (List.rev forward))
 
-let rec run_block (block : Instr.block) : Instr.block =
+let rec sweep_deep (block : Instr.block) : Instr.block =
   List.map
     (fun (i : Instr.instr) ->
       match i with
       | Instr.Parallel ({ level = Instr.Threads; body; _ } as p) ->
-          Instr.Parallel { p with body = sweep_block (run_block body) }
-      | Instr.Parallel ({ body; _ } as p) -> Instr.Parallel { p with body = run_block body }
+          Instr.Parallel { p with body = sweep_block (sweep_deep body) }
+      | Instr.Parallel ({ body; _ } as p) -> Instr.Parallel { p with body = sweep_deep body }
       | Instr.If ({ then_; else_; _ } as r) ->
-          Instr.If { r with then_ = run_block then_; else_ = run_block else_ }
-      | Instr.For ({ body; _ } as r) -> Instr.For { r with body = run_block body }
-      | Instr.While ({ body; _ } as r) -> Instr.While { r with body = run_block body }
-      | Instr.Gpu_wrapper ({ body; _ } as r) -> Instr.Gpu_wrapper { r with body = run_block body }
+          Instr.If { r with then_ = sweep_deep then_; else_ = sweep_deep else_ }
+      | Instr.For ({ body; _ } as r) -> Instr.For { r with body = sweep_deep body }
+      | Instr.While ({ body; _ } as r) -> Instr.While { r with body = sweep_deep body }
+      | Instr.Gpu_wrapper ({ body; _ } as r) -> Instr.Gpu_wrapper { r with body = sweep_deep body }
       | Instr.Alternatives ({ regions; _ } as r) ->
-          Instr.Alternatives { r with regions = List.map run_block regions }
+          Instr.Alternatives { r with regions = List.map sweep_deep regions }
       | i -> i)
     block
 
-let run_func (f : Instr.func) = { f with Instr.body = run_block f.Instr.body }
-let run_modul (m : Instr.modul) = { Instr.funcs = List.map run_func m.Instr.funcs }
+let run_block block =
+  rewrites := 0;
+  sweep_deep block
+
+let run_func (f : Instr.func) =
+  rewrites := 0;
+  { f with Instr.body = sweep_deep f.Instr.body }
+
+let run_modul (m : Instr.modul) =
+  rewrites := 0;
+  {
+    Instr.funcs =
+      List.map (fun f -> { f with Instr.body = sweep_deep f.Instr.body }) m.Instr.funcs;
+  }
+
+let rewrite_count () = !rewrites

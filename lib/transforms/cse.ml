@@ -20,6 +20,9 @@ type env = {
   loads : (string, Value.t) Hashtbl.t;  (** (mem, idx) key -> known contents *)
 }
 
+(* rewrites performed by the last [run_*] call (pass telemetry) *)
+let rewrites = ref 0
+
 let rec resolve env v =
   match Value.Tbl.find_opt env.repl v with Some v' -> resolve env v' | None -> v
 
@@ -80,7 +83,9 @@ let rec cse_block env (block : Instr.block) : Instr.block * bool =
           let mem, idx = match e with Instr.Load { mem; idx } -> (mem, idx) | _ -> (mem, idx) in
           let k = load_key env mem idx in
           match Hashtbl.find_opt env.loads k with
-          | Some u when Types.equal u.Value.ty v.Value.ty -> Value.Tbl.replace env.repl v u
+          | Some u when Types.equal u.Value.ty v.Value.ty ->
+              incr rewrites;
+              Value.Tbl.replace env.repl v u
           | Some _ | None ->
               Hashtbl.replace env.loads k v;
               push (Instr.Let (v, e)))
@@ -88,7 +93,9 @@ let rec cse_block env (block : Instr.block) : Instr.block * bool =
           let e = rewrite_expr env e in
           let k = key_of env v e in
           match Hashtbl.find_opt env.pure k with
-          | Some u -> Value.Tbl.replace env.repl v u
+          | Some u ->
+              incr rewrites;
+              Value.Tbl.replace env.repl v u
           | None ->
               Hashtbl.replace env.pure k v;
               push (Instr.Let (v, e)))
@@ -145,11 +152,22 @@ let rec cse_block env (block : Instr.block) : Instr.block * bool =
     block;
   (List.rev !out, !killed)
 
-let run_block block =
+let cse_top block =
   let env =
     { repl = Value.Tbl.create 256; pure = Hashtbl.create 256; loads = Hashtbl.create 64 }
   in
   fst (cse_block env block)
 
-let run_func (f : Instr.func) = { f with Instr.body = run_block f.Instr.body }
-let run_modul (m : Instr.modul) = { Instr.funcs = List.map run_func m.Instr.funcs }
+let run_block block =
+  rewrites := 0;
+  cse_top block
+
+let run_func (f : Instr.func) =
+  rewrites := 0;
+  { f with Instr.body = cse_top f.Instr.body }
+
+let run_modul (m : Instr.modul) =
+  rewrites := 0;
+  { Instr.funcs = List.map (fun f -> { f with Instr.body = cse_top f.Instr.body }) m.Instr.funcs }
+
+let rewrite_count () = !rewrites

@@ -31,19 +31,26 @@ let collect_uses (block : Instr.block) =
     block;
   used
 
+(* instructions removed by the last [run_*] call (pass telemetry) *)
+let rewrites = ref 0
+
 (** One sweep; returns the swept block and whether anything changed. *)
 let sweep (top : Instr.block) : Instr.block * bool =
   let used = collect_uses top in
   let is_used v = Value.Tbl.mem used v in
   let changed = ref false in
+  let removed () =
+    incr rewrites;
+    changed := true
+  in
   let rec go_block b = List.filter_map go_instr b
   and go_instr (i : Instr.instr) : Instr.instr option =
     match i with
     | Instr.Let (v, _) when not (is_used v) ->
-        changed := true;
+        removed ();
         None
     | Instr.Alloc_shared { res; _ } when not (is_used res) ->
-        changed := true;
+        removed ();
         None
     | Instr.If ({ results; then_; else_; _ } as f) ->
         if
@@ -51,25 +58,25 @@ let sweep (top : Instr.block) : Instr.block * bool =
           && (not (has_effect_block then_))
           && not (has_effect_block else_)
         then begin
-          changed := true;
+          removed ();
           None
         end
         else Some (Instr.If { f with then_ = go_block then_; else_ = go_block else_ })
     | Instr.For ({ results; body; _ } as f) ->
         if (not (List.exists is_used results)) && not (has_effect_block body) then begin
-          changed := true;
+          removed ();
           None
         end
         else Some (Instr.For { f with body = go_block body })
     | Instr.While ({ results; body; _ } as w) ->
         if (not (List.exists is_used results)) && not (has_effect_block body) then begin
-          changed := true;
+          removed ();
           None
         end
         else Some (Instr.While { w with body = go_block body })
     | Instr.Parallel ({ level = Instr.Threads; body; _ } as p) ->
         if not (has_effect_block body) then begin
-          changed := true;
+          removed ();
           None
         end
         else Some (Instr.Parallel { p with body = go_block body })
@@ -84,7 +91,7 @@ let sweep (top : Instr.block) : Instr.block * bool =
   let b = go_block top in
   (b, !changed)
 
-let run_block block =
+let fix_block block =
   let rec fix b n =
     if n = 0 then b
     else
@@ -93,5 +100,16 @@ let run_block block =
   in
   fix block 16
 
-let run_func (f : Instr.func) = { f with Instr.body = run_block f.Instr.body }
-let run_modul (m : Instr.modul) = { Instr.funcs = List.map run_func m.Instr.funcs }
+let run_block block =
+  rewrites := 0;
+  fix_block block
+
+let run_func (f : Instr.func) =
+  rewrites := 0;
+  { f with Instr.body = fix_block f.Instr.body }
+
+let run_modul (m : Instr.modul) =
+  rewrites := 0;
+  { Instr.funcs = List.map (fun f -> { f with Instr.body = fix_block f.Instr.body }) m.Instr.funcs }
+
+let rewrite_count () = !rewrites

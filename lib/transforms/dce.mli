@@ -7,3 +7,6 @@
 val run_block : Pgpu_ir.Instr.block -> Pgpu_ir.Instr.block
 val run_func : Pgpu_ir.Instr.func -> Pgpu_ir.Instr.func
 val run_modul : Pgpu_ir.Instr.modul -> Pgpu_ir.Instr.modul
+
+(** Rewrites performed by the last [run_*] call (pass telemetry). *)
+val rewrite_count : unit -> int

@@ -11,6 +11,9 @@
 
 open Pgpu_ir
 
+(* instructions hoisted by the last [run_*] call (pass telemetry) *)
+let rewrites = ref 0
+
 let rec writes_or_syncs_block b = List.exists writes_or_syncs b
 
 and writes_or_syncs (i : Instr.instr) =
@@ -58,11 +61,13 @@ let hoist_from ~args ~allow_loads (body : Instr.block) =
           | Instr.Let (v, Instr.Load _) when allow_loads && no_writes && invariant_ops () ->
               hoisted := i :: !hoisted;
               Value.Tbl.remove inside v;
+              incr rewrites;
               changed := true;
               false
           | Instr.Let (v, _) when Instr.is_pure i && invariant_ops () ->
               hoisted := i :: !hoisted;
               Value.Tbl.remove inside v;
+              incr rewrites;
               changed := true;
               false
           | _ -> true)
@@ -113,9 +118,20 @@ let rec licm_block ~const_of (block : Instr.block) : Instr.block =
       | i -> [ i ])
     block
 
-let run_block block =
+let licm_top block =
   let const_of = Coarsen.const_env [ block ] in
   licm_block ~const_of block
 
-let run_func (f : Instr.func) = { f with Instr.body = run_block f.Instr.body }
-let run_modul (m : Instr.modul) = { Instr.funcs = List.map run_func m.Instr.funcs }
+let run_block block =
+  rewrites := 0;
+  licm_top block
+
+let run_func (f : Instr.func) =
+  rewrites := 0;
+  { f with Instr.body = licm_top f.Instr.body }
+
+let run_modul (m : Instr.modul) =
+  rewrites := 0;
+  { Instr.funcs = List.map (fun f -> { f with Instr.body = licm_top f.Instr.body }) m.Instr.funcs }
+
+let rewrite_count () = !rewrites

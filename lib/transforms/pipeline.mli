@@ -6,11 +6,17 @@
 open Pgpu_ir
 module Descriptor = Pgpu_target.Descriptor
 
+(** Per-subsystem log source ("pgpu.transforms"), for scoping [-v]
+    debug output to the pipeline. *)
+val src : Logs.src
+
 type options = {
   target : Descriptor.t;
   optimize : bool;  (** scalar optimizations (CSE, LICM, canonicalize, DCE, barriers) *)
   coarsen_specs : Coarsen.spec list;  (** configurations to version; empty = none *)
   verify : bool;  (** verify the module between stages *)
+  tracer : Pgpu_trace.Tracer.t;
+      (** pass/pruning telemetry sink; [Tracer.disabled] (the default) = off *)
 }
 
 val default_options : Descriptor.t -> options
@@ -19,8 +25,10 @@ type kernel_report = { kernel : string; wid : int; candidates : Alternatives.can
 type report = { kernels : kernel_report list }
 
 (** The scalar pass pipeline alone (the paper's "Polygeist-GPU without
-    parallel optimizations" configuration). *)
-val scalar_pipeline : Instr.modul -> Instr.modul
+    parallel optimizations" configuration). With a [tracer], each pass
+    runs under a span recording op-count deltas and its rewrite
+    counter. *)
+val scalar_pipeline : ?tracer:Pgpu_trace.Tracer.t -> Instr.modul -> Instr.modul
 
 (** Compile a module: scalar optimization, then kernel
     multi-versioning. Raises [Verify.Invalid] if an internal pass

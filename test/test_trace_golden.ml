@@ -1,0 +1,142 @@
+(** Golden trace for one fixture compile: a shared-memory reduction
+    multi-versioned on the A100 with the identity, block x4, thread x4
+    and block x64 configurations. Pins the full event stream — span
+    order, per-pass op-count deltas and rewrite counters, and the
+    alternatives pruning events (block x64 demands 66560 B of shared
+    memory and must be rejected with exactly that reason). The tracer
+    uses a sequence clock, so the trace is bit-identical across runs;
+    any pipeline change that reorders passes, changes what they rewrite
+    on this kernel, or alters a pruning decision shows up here. *)
+
+module Pipeline = Pgpu_transforms.Pipeline
+module Tracer = Pgpu_trace.Tracer
+
+let reduce_src =
+  {|
+__global__ void reduce(float* in, float* out) {
+  __shared__ float smem[256];
+  int t = threadIdx.x;
+  int i = blockIdx.x * 256 + t;
+  smem[t] = in[i];
+  __syncthreads();
+  for (int k = 0; k < 8; k++) {
+    int s = 128 >> k;
+    if (t < s) {
+      smem[t] += smem[t + s];
+    }
+    __syncthreads();
+  }
+  if (t == 0) {
+    out[blockIdx.x] = smem[0];
+  }
+}
+
+float* main(int nb) {
+  int n = nb * 256;
+  float* hin = (float*)malloc(n * sizeof(float));
+  float* hout = (float*)malloc(nb * sizeof(float));
+  fill_rand(hin, 7);
+  float* din; float* dout;
+  cudaMalloc((void**)&din, n * sizeof(float));
+  cudaMalloc((void**)&dout, nb * sizeof(float));
+  cudaMemcpy(din, hin, n * sizeof(float), cudaMemcpyHostToDevice);
+  reduce<<<nb, 256>>>(din, dout);
+  cudaMemcpy(hout, dout, nb * sizeof(float), cudaMemcpyDeviceToHost);
+  return hout;
+}
+|}
+
+let expected =
+  [
+    "counter pass.canonicalize.rewrites ts=2 value=0";
+    "span pass:canonicalize [compile] ts=1 dur=2 ops_before=91 ops_after=87 ops_delta=-4 rewrites=0";
+    "counter pass.cse.rewrites ts=5 value=39";
+    "span pass:cse [compile] ts=4 dur=2 ops_before=87 ops_after=48 ops_delta=-39 rewrites=39";
+    "counter pass.licm.rewrites ts=8 value=6";
+    "span pass:licm [compile] ts=7 dur=2 ops_before=48 ops_after=48 ops_delta=0 rewrites=6";
+    "counter pass.cse.rewrites ts=11 value=0";
+    "span pass:cse [compile] ts=10 dur=2 ops_before=48 ops_after=48 ops_delta=0 rewrites=0";
+    "counter pass.dce.rewrites ts=14 value=0";
+    "span pass:dce [compile] ts=13 dur=2 ops_before=48 ops_after=48 ops_delta=0 rewrites=0";
+    "counter pass.barrier-elim.rewrites ts=17 value=0";
+    "span pass:barrier-elim [compile] ts=16 dur=2 ops_before=48 ops_after=48 ops_delta=0 rewrites=0";
+    "instant candidate:block(total 1) thread(total 1) [alternatives] ts=20 spec=\"block(total 1) thread(total 1)\" decision=\"kept\" kept=true regs=4 spilled=0 shmem=1024 ilp=1.8 mlp=4.0";
+    "instant candidate:block(total 4) thread(total 1) [alternatives] ts=21 spec=\"block(total 4) thread(total 1)\" decision=\"kept\" kept=true regs=10 spilled=0 shmem=5120 ilp=3.0 mlp=8.0";
+    "instant candidate:block(total 1) thread(total 4) [alternatives] ts=22 spec=\"block(total 1) thread(total 4)\" decision=\"kept\" kept=true regs=11 spilled=0 shmem=1024 ilp=6.6 mlp=8.0";
+    "instant candidate:block(total 64) thread(total 1) [alternatives] ts=23 spec=\"block(total 64) thread(total 1)\" decision=\"rejected: 66560 B of shared memory\" kept=false regs=130 spilled=0 shmem=66560 ilp=8.0 mlp=8.0";
+    "span alternatives:reduce [compile] ts=19 dur=5 kernel=\"reduce\" wid=_ candidates=4 kept=3";
+    "span pipeline [compile] ts=0 dur=25 target=\"a100\" ops=91 ops_after=249 kernels=1";
+  ]
+
+(* wrapper ids come from a process-global counter, so the golden masks
+   them: "wid=<digits>" -> "wid=_" *)
+let mask_wid s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 4 <= n && String.equal (String.sub s !i 4) "wid=" then begin
+      Buffer.add_string b "wid=_";
+      i := !i + 4;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let test_pipeline_trace () =
+  let m = Pgpu_frontend.Frontend.compile_string reduce_src in
+  let tracer = Tracer.create () in
+  let opts =
+    {
+      (Pipeline.default_options Pgpu_target.Descriptor.a100) with
+      Pipeline.coarsen_specs = Pipeline.specs_of_totals [ (1, 1); (4, 1); (1, 4); (64, 1) ];
+      tracer;
+    }
+  in
+  ignore (Pipeline.compile opts m);
+  let got = List.map (fun e -> mask_wid (Fmt.str "%a" Tracer.pp_event e)) (Tracer.events tracer) in
+  Alcotest.(check (list string)) "pipeline trace" expected got
+
+(** The no-op sink changes nothing observable: the same compiled module
+    run with tracing on and off produces identical outputs and an
+    identical composite time (the acceptance bar for "tracing is free
+    when disabled"). *)
+let test_noop_sink_identical () =
+  let module Runtime = Pgpu_runtime.Runtime in
+  let module Exec = Pgpu_gpusim.Exec in
+  let m = Pgpu_frontend.Frontend.compile_string reduce_src in
+  let opts =
+    {
+      (Pipeline.default_options Pgpu_target.Descriptor.a100) with
+      Pipeline.coarsen_specs = Pipeline.specs_of_totals [ (1, 1); (4, 1) ];
+    }
+  in
+  let modul, _ = Pipeline.compile opts m in
+  let run tracer =
+    let config =
+      { (Runtime.default_config Pgpu_target.Descriptor.a100) with Runtime.tune = true; tracer }
+    in
+    let results, st = Runtime.run config modul [ Exec.UI 6 ] in
+    (List.map Runtime.buffer_contents results, Runtime.composite_seconds st)
+  in
+  let out_plain, t_plain = run Tracer.disabled in
+  let out_traced, t_traced = run (Tracer.create ()) in
+  Alcotest.(check (list (list (float 0.)))) "same outputs" out_plain out_traced;
+  Alcotest.(check (float 0.)) "same composite time" t_plain t_traced
+
+let suite =
+  [
+    ( "trace-golden",
+      [
+        Alcotest.test_case "reduce on A100: pass spans and pruning events" `Quick
+          test_pipeline_trace;
+        Alcotest.test_case "no-op sink leaves compilation unchanged" `Quick
+          test_noop_sink_identical;
+      ] );
+  ]
