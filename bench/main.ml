@@ -3,7 +3,7 @@
     micro-benchmarks of the compiler itself.
 
     Usage: [main.exe [table1|fig13|fig14|fig15|table2|fig16|fig17|
-    hipify|vii-b|micro|ablation|all ...]]; no arguments = all. *)
+    hipify|vii-b|micro|ablation|cachebench|all ...]]; no arguments = all. *)
 
 module E = Pgpu_core.Experiments
 module P = Pgpu_core.Polygeist_gpu
@@ -116,6 +116,32 @@ let ablation () =
     tdo fixed
 
 (* ------------------------------------------------------------------ *)
+(* Cold-vs-warm cache benchmark                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cachebench () =
+  heading "Content-addressed cache: cold vs warm compile + autotune";
+  Fmt.pr "%-12s %14s %14s %9s %14s %14s %9s %7s@." "bench" "cold compile" "warm compile"
+    "speedup" "cold run" "warm run" "speedup" "same?";
+  let rows =
+    List.map
+      (fun (b : P.Bench_def.t) ->
+        let r = P.cache_bench ~specs:E.composite_specs ~target:Descriptor.a100 b in
+        let spd cold warm = cold /. Float.max warm 1e-9 in
+        Fmt.pr "%-12s %12.2f ms %12.2f ms %8.1fx %12.2f ms %12.2f ms %8.1fx %7s@." r.P.bench
+          (r.P.cold_compile_s *. 1e3) (r.P.warm_compile_s *. 1e3)
+          (spd r.P.cold_compile_s r.P.warm_compile_s)
+          (r.P.cold_run_s *. 1e3) (r.P.warm_run_s *. 1e3)
+          (spd r.P.cold_run_s r.P.warm_run_s)
+          (if r.P.same_choices && r.P.same_outputs && r.P.same_composite then "yes"
+           else
+             Fmt.str "NO(c=%b,o=%b,t=%b)" r.P.same_choices r.P.same_outputs r.P.same_composite);
+        (r.P.bench, P.cache_bench_json r))
+      (benches ())
+  in
+  write_metrics "cachebench" (Pgpu_trace.Json.Obj rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -197,6 +223,7 @@ let all () =
   fig17 ();
   hipify ();
   ablation ();
+  cachebench ();
   micro ()
 
 let () =
@@ -214,6 +241,7 @@ let () =
       ("fig17", fig17);
       ("hipify", hipify);
       ("ablation", ablation);
+      ("cachebench", cachebench);
       ("micro", micro);
       ("all", all);
     ]

@@ -109,6 +109,47 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write a flat JSON file of trace-derived metrics (span totals, counters).")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the content-addressed cache (backend statistics, TDO autotuning \
+           choices) in $(docv). Entries are keyed by structural kernel hash and target, \
+           so the directory can be shared across programs and invocations; warm runs \
+           skip memoized compile work and TDO trial execution.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the content-addressed cache entirely (without this flag an in-memory \
+           cache is used even when no --cache-dir is given).")
+
+let cache_stats_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-stats" ] ~docv:"FILE"
+        ~doc:"Write cache hit/miss/store statistics as JSON to $(docv).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Domains used for parallel candidate expansion (default 1: sequential).")
+
+let make_cache no_cache dir = if no_cache then P.Cache.disabled else P.Cache.create ?dir ()
+
+let write_cache_stats cache path =
+  Option.iter
+    (fun path ->
+      P.Trace.Json.to_file path (P.Cache.stats_json cache);
+      Logs.info (fun m -> m "cache stats written to %s" path))
+    path
+
 (** Run [f] with a tracer (live only when some output was requested),
     then write the requested trace/metrics files. *)
 let with_tracer trace metrics f =
@@ -139,12 +180,14 @@ let read_file path =
 
 let compile_cmd =
   let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the final IR module.") in
-  let run () file target no_opt coarsen dump trace metrics =
+  let run () file target no_opt coarsen dump trace metrics cache_dir no_cache cache_stats jobs =
     with_tracer trace metrics @@ fun tracer ->
+    let cache = make_cache no_cache cache_dir in
     let c =
-      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tracer ~target
+      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tracer ~cache ~jobs ~target
         ~source:(read_file file) ()
     in
+    write_cache_stats cache cache_stats;
     List.iter
       (fun (k : P.Pipeline.kernel_report) ->
         Fmt.pr "kernel %s:@." k.P.Pipeline.kernel;
@@ -165,7 +208,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a mini-CUDA file and report multi-versioning decisions.")
     Term.(
       const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ dump_ir
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ cache_dir_arg $ no_cache_arg $ cache_stats_arg $ jobs_arg)
 
 (* --- run --- *)
 
@@ -186,13 +229,16 @@ let print_run_summary (r : P.run_result) =
     (P.kernel_names r)
 
 let run_cmd =
-  let run () file target no_opt coarsen tune choice args trace metrics =
+  let run () file target no_opt coarsen tune choice args trace metrics cache_dir no_cache
+      cache_stats jobs =
     with_tracer trace metrics @@ fun tracer ->
+    let cache = make_cache no_cache cache_dir in
     let c =
-      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tracer ~target
+      P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tracer ~cache ~jobs ~target
         ~source:(read_file file) ()
     in
-    let r = P.run ~tune ~fixed_choice:choice ~tracer c ~args in
+    let r = P.run ~tune ~fixed_choice:choice ~tracer ~cache c ~args in
+    write_cache_stats cache cache_stats;
     print_run_summary r;
     0
   in
@@ -200,7 +246,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute a mini-CUDA file on the simulated GPU.")
     Term.(
       const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
-      $ choice_arg $ args_arg $ trace_arg $ metrics_arg)
+      $ choice_arg $ args_arg $ trace_arg $ metrics_arg $ cache_dir_arg $ no_cache_arg
+      $ cache_stats_arg $ jobs_arg)
 
 (* --- bench --- *)
 
@@ -217,25 +264,46 @@ let bench_cmd =
   let perf_arg =
     Arg.(value & flag & info [ "perf" ] ~doc:"Evaluation-scale problem size, sampled grids.")
   in
-  let run () name target no_opt coarsen tune verify perf args trace metrics =
+  let cold_warm_arg =
+    Arg.(
+      value & flag
+      & info [ "cold-warm" ]
+          ~doc:
+            "Compile and autotune the benchmark twice against the same cache (a cold pass \
+             populating it, then a warm pass) and report compile/search-time speedups plus \
+             choice/output identity as JSON.")
+  in
+  let run () name target no_opt coarsen tune verify perf args trace metrics cache_dir no_cache
+      cache_stats jobs cold_warm =
     with_tracer trace metrics @@ fun tracer ->
     let b =
       try P.Rodinia.find name with Failure _ -> P.Hecbench.find name
     in
-    let args = if args = [] then None else Some args in
-    let r =
-      P.run_rodinia ~verify ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tune ~perf
-        ~tracer ~target ?args b
-    in
-    print_run_summary r;
-    if verify then Fmt.pr "outputs verified against the CPU reference.@.";
-    0
+    if cold_warm then begin
+      let specs = if coarsen = [] then None else Some (specs_of coarsen) in
+      let r = P.cache_bench ?specs ?dir:cache_dir ~target b in
+      Fmt.pr "%s@." (P.Trace.Json.to_string_pretty (P.cache_bench_json r));
+      0
+    end
+    else begin
+      let cache = make_cache no_cache cache_dir in
+      let args = if args = [] then None else Some args in
+      let r =
+        P.run_rodinia ~verify ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tune ~perf
+          ~tracer ~cache ~jobs ~target ?args b
+      in
+      write_cache_stats cache cache_stats;
+      print_run_summary r;
+      if verify then Fmt.pr "outputs verified against the CPU reference.@.";
+      0
+    end
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run a bundled Rodinia benchmark.")
     Term.(
       const run $ setup_logs_t $ name_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
-      $ verify_arg $ perf_arg $ args_arg $ trace_arg $ metrics_arg)
+      $ verify_arg $ perf_arg $ args_arg $ trace_arg $ metrics_arg $ cache_dir_arg
+      $ no_cache_arg $ cache_stats_arg $ jobs_arg $ cold_warm_arg)
 
 (* --- profile --- *)
 

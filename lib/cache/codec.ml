@@ -1,0 +1,59 @@
+(** JSON codecs for the values the persistent cache stores.
+
+    The writer in {!Pgpu_trace.Json} always emits enough digits for
+    floats to round-trip bit-exactly, so statistics read back from a
+    warm cache reproduce the multi-versioning decisions (spill
+    comparisons, occupancy checks, timing-model inputs) of the cold
+    compile exactly. *)
+
+module Json = Pgpu_trace.Json
+module Backend = Pgpu_target.Backend
+
+let int_field j k = match Json.member k j with Some (Json.Int n) -> Some n | _ -> None
+
+let float_field j k =
+  match Json.member k j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let json_of_kernel_stats (s : Backend.kernel_stats) =
+  Json.Obj
+    [
+      ("regs", Json.Int s.Backend.regs_per_thread);
+      ("spilled", Json.Int s.Backend.spilled);
+      ("spill_instructions", Json.Int s.Backend.spill_instructions);
+      ("shmem", Json.Int s.Backend.static_shmem);
+      ("ilp", Json.Float s.Backend.ilp);
+      ("mlp", Json.Float s.Backend.mlp);
+      ("n_instructions", Json.Int s.Backend.n_instructions);
+    ]
+
+let kernel_stats_of_json j : Backend.kernel_stats option =
+  match
+    ( int_field j "regs",
+      int_field j "spilled",
+      int_field j "spill_instructions",
+      int_field j "shmem",
+      float_field j "ilp",
+      float_field j "mlp",
+      int_field j "n_instructions" )
+  with
+  | ( Some regs_per_thread,
+      Some spilled,
+      Some spill_instructions,
+      Some static_shmem,
+      Some ilp,
+      Some mlp,
+      Some n_instructions ) ->
+      Some
+        {
+          Backend.regs_per_thread;
+          spilled;
+          spill_instructions;
+          static_shmem;
+          ilp;
+          mlp;
+          n_instructions;
+        }
+  | _ -> None

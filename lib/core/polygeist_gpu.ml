@@ -34,6 +34,7 @@ module Hecbench = Pgpu_hecbench.Registry
 module Bench_def = Pgpu_rodinia.Bench_def
 module Trace = Pgpu_trace
 module Tracer = Pgpu_trace.Tracer
+module Cache = Pgpu_cache.Cache
 module Profile = Pgpu_profile
 
 type compiled = {
@@ -57,9 +58,11 @@ let spec ?block ?thread ?block_mapping ?thread_mapping () =
 (** Compile mini-CUDA source for a target.
     @param optimize scalar optimizations (CSE, LICM, ...); on by default
     @param specs coarsening configurations to multi-version with
-    @param tracer pass/pruning telemetry sink (default: disabled) *)
+    @param tracer pass/pruning telemetry sink (default: disabled)
+    @param cache content-addressed compilation cache (default: disabled)
+    @param jobs domains for candidate expansion (default: 1) *)
 let compile ?(optimize = true) ?(specs = []) ?(tracer = Tracer.disabled)
-    ~(target : Descriptor.t) ~source () : compiled =
+    ?(cache = Cache.disabled) ?(jobs = 1) ~(target : Descriptor.t) ~source () : compiled =
   let m = Frontend.compile_string source in
   let opts =
     {
@@ -67,6 +70,8 @@ let compile ?(optimize = true) ?(specs = []) ?(tracer = Tracer.disabled)
       Pipeline.optimize;
       coarsen_specs = specs;
       tracer;
+      cache;
+      jobs;
     }
   in
   let modul, report = Pipeline.compile opts m in
@@ -84,7 +89,8 @@ type run_result = {
     @param functional execute every block (exact outputs); disable for
     timing-only sweeps on large grids *)
 let run ?(tune = false) ?(fixed_choice = 0) ?(functional = true) ?(sample_blocks = 24)
-    ?(tracer = Tracer.disabled) (c : compiled) ~(args : int list) : run_result =
+    ?(tracer = Tracer.disabled) ?(cache = Cache.disabled) (c : compiled) ~(args : int list) :
+    run_result =
   let config =
     {
       (Runtime.default_config c.target) with
@@ -93,6 +99,7 @@ let run ?(tune = false) ?(fixed_choice = 0) ?(functional = true) ?(sample_blocks
       functional;
       sample_blocks;
       tracer;
+      cache;
     }
   in
   let results, st = Runtime.run config c.modul (List.map (fun n -> Exec.UI n) args) in
@@ -122,17 +129,17 @@ let kernel_names (r : run_result) =
     are sampled (timing-only) unless the benchmark's host control flow
     depends on computed data. *)
 let run_rodinia ?(verify = false) ?(optimize = true) ?(specs = []) ?(tune = specs <> [])
-    ?(perf = false) ?(tracer = Tracer.disabled) ~(target : Descriptor.t) ?args
-    (b : Bench_def.t) : run_result =
+    ?(perf = false) ?(tracer = Tracer.disabled) ?(cache = Cache.disabled) ?(jobs = 1)
+    ~(target : Descriptor.t) ?args (b : Bench_def.t) : run_result =
   let args =
     Option.value args ~default:(if perf then b.Bench_def.perf_args else b.Bench_def.args)
   in
   let functional = (not perf) || b.Bench_def.data_dependent_host in
-  let c = compile ~optimize ~specs ~tracer ~target ~source:b.Bench_def.source () in
+  let c = compile ~optimize ~specs ~tracer ~cache ~jobs ~target ~source:b.Bench_def.source () in
   (* evaluation-scale runs sample fewer blocks per launch: the grids
      are uniform enough that 12 representative blocks extrapolate *)
   let sample_blocks = if perf then 12 else 24 in
-  let r = run ~tune ~functional ~sample_blocks ~tracer c ~args in
+  let r = run ~tune ~functional ~sample_blocks ~tracer ~cache c ~args in
   if verify then begin
     let expected = b.Bench_def.reference args in
     let got = List.hd r.outputs in
@@ -145,3 +152,78 @@ let run_rodinia ?(verify = false) ?(optimize = true) ?(specs = []) ?(tune = spec
       got
   end;
   r
+
+(* ------------------------------------------------------------------ *)
+(* Cold-vs-warm cache benchmark                                        *)
+(* ------------------------------------------------------------------ *)
+
+type cache_bench_result = {
+  bench : string;
+  cold_compile_s : float;  (** wall-clock of the cold compile *)
+  warm_compile_s : float;
+  cold_run_s : float;  (** wall-clock of the cold tuned run (incl. TDO trials) *)
+  warm_run_s : float;
+  cold_tdo_misses : int;  (** launch-signature sites trialed cold *)
+  warm_tdo_hits : int;  (** sites answered from the cache when warm *)
+  same_choices : bool;  (** warm run picked the same alternatives *)
+  same_outputs : bool;  (** warm outputs are bit-identical *)
+  same_composite : bool;  (** warm composite time is bit-identical *)
+}
+
+(** Compile and autotune [b] twice against the same cache: a cold pass
+    populating it, then a warm pass that must make identical choices
+    with identical outputs while skipping memoized compile work and TDO
+    trials. Wall-clock is measured with [Sys.time] (cpu seconds). With
+    [dir], the cache also persists to disk across processes. *)
+let cache_bench ?(specs = specs_of_totals [ (1, 1); (4, 1); (1, 4); (2, 2) ]) ?dir
+    ~(target : Descriptor.t) (b : Bench_def.t) : cache_bench_result =
+  let cache = Cache.create ?dir () in
+  let pass () =
+    let t0 = Sys.time () in
+    let c = compile ~specs ~cache ~target ~source:b.Bench_def.source () in
+    let t1 = Sys.time () in
+    let r = run ~tune:true ~cache c ~args:b.Bench_def.args in
+    let t2 = Sys.time () in
+    (r, t1 -. t0, t2 -. t1)
+  in
+  let _, m0, _ = Cache.ns_stats cache "tdo" in
+  let r_cold, cc, rc = pass () in
+  let h1, m1, _ = Cache.ns_stats cache "tdo" in
+  let r_warm, cw, rw = pass () in
+  let h2, _, _ = Cache.ns_stats cache "tdo" in
+  (* compare launches by kernel name, not wid: wrapper ids are
+     renumbered by the warm re-compile *)
+  let choices r =
+    List.map (fun (l : Runtime.launch_record) -> (l.Runtime.kernel, l.Runtime.alternative)) r.records
+  in
+  {
+    bench = b.Bench_def.name;
+    cold_compile_s = cc;
+    warm_compile_s = cw;
+    cold_run_s = rc;
+    warm_run_s = rw;
+    cold_tdo_misses = m1 - m0;
+    warm_tdo_hits = h2 - h1;
+    same_choices = choices r_cold = choices r_warm;
+    same_outputs = r_cold.outputs = r_warm.outputs;
+    same_composite = Float.equal r_cold.composite_seconds r_warm.composite_seconds;
+  }
+
+let cache_bench_json (r : cache_bench_result) =
+  let module Json = Pgpu_trace.Json in
+  let speedup cold warm = cold /. Float.max warm 1e-9 in
+  Json.Obj
+    [
+      ("bench", Json.Str r.bench);
+      ("cold_compile_s", Json.Float r.cold_compile_s);
+      ("warm_compile_s", Json.Float r.warm_compile_s);
+      ("compile_speedup", Json.Float (speedup r.cold_compile_s r.warm_compile_s));
+      ("cold_run_s", Json.Float r.cold_run_s);
+      ("warm_run_s", Json.Float r.warm_run_s);
+      ("search_speedup", Json.Float (speedup r.cold_run_s r.warm_run_s));
+      ("cold_tdo_misses", Json.Int r.cold_tdo_misses);
+      ("warm_tdo_hits", Json.Int r.warm_tdo_hits);
+      ("same_choices", Json.Bool r.same_choices);
+      ("same_outputs", Json.Bool r.same_outputs);
+      ("same_composite", Json.Bool r.same_composite);
+    ]

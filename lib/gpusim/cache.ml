@@ -26,6 +26,33 @@ let create ~size_bytes ~line_bytes ~ways =
     misses = 0;
   }
 
+type snapshot = {
+  s_tags : int array;
+  s_last_use : int array;
+  s_tick : int;
+  s_hits : int;
+  s_misses : int;
+}
+
+(** Save/restore the full cache state (tags, recency, counters) —
+    used to keep TDO trial executions from warming or evicting lines
+    the committed execution would otherwise see. *)
+let snapshot t =
+  {
+    s_tags = Array.copy t.tags;
+    s_last_use = Array.copy t.last_use;
+    s_tick = t.tick;
+    s_hits = t.hits;
+    s_misses = t.misses;
+  }
+
+let restore t s =
+  Array.blit s.s_tags 0 t.tags 0 (Array.length s.s_tags);
+  Array.blit s.s_last_use 0 t.last_use 0 (Array.length s.s_last_use);
+  t.tick <- s.s_tick;
+  t.hits <- s.s_hits;
+  t.misses <- s.s_misses
+
 (** Probe the cache with a byte address; allocates on miss (allocate-on-
     read-and-write policy). Returns [true] on hit. *)
 let access t addr =

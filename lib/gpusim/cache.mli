@@ -14,6 +14,14 @@ type t = {
 
 val create : size_bytes:int -> line_bytes:int -> ways:int -> t
 
+(** Save/restore the full cache state (tags, recency, hit/miss
+    counters) — used to keep speculative executions from warming or
+    evicting lines the committed execution would otherwise see. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
 (** Probe with a byte address; allocates on miss. [true] on hit. *)
 val access : t -> int -> bool
 

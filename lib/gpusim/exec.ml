@@ -54,6 +54,25 @@ let create_machine (target : Pgpu_target.Descriptor.t) =
     shared_as_global = false;
   }
 
+type machine_snapshot = {
+  ms_alloc : int * int;
+  ms_l2 : Cache.snapshot;
+  ms_next_sm : int;
+}
+
+(** Save/restore the machine state that persists across launches
+    (allocator position, L2 contents, SM round-robin pointer), so
+    speculative executions — TDO trials — leave no trace on the timing
+    of the committed execution that follows. Buffer contents are
+    snapshotted separately by the runtime. *)
+let snapshot_machine m =
+  { ms_alloc = Memory.allocator_mark m.alloc; ms_l2 = Cache.snapshot m.l2; ms_next_sm = m.next_sm }
+
+let restore_machine m s =
+  Memory.allocator_reset m.alloc s.ms_alloc;
+  Cache.restore m.l2 s.ms_l2;
+  m.next_sm <- s.ms_next_sm
+
 type env = (int, rv) Hashtbl.t
 
 let env_create () : env = Hashtbl.create 256

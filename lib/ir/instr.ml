@@ -81,11 +81,11 @@ and block = instr list
 type func = { fname : string; params : Value.t list; ret : Types.t list; body : block }
 type modul = { funcs : func list }
 
-let region_counter = ref 0
+(* Atomic so that region cloning is safe when candidate expansion runs
+   on several domains concurrently. *)
+let region_counter = Atomic.make 0
 
-let fresh_region_id () =
-  incr region_counter;
-  !region_counter
+let fresh_region_id () = Atomic.fetch_and_add region_counter 1 + 1
 
 let find_func m name =
   match List.find_opt (fun f -> String.equal f.fname name) m.funcs with
@@ -198,6 +198,297 @@ let is_pure = function
   | Store _ | Barrier _ | Alloc_shared _ | Alloc _ | Free _ | Memcpy _ | Intrinsic _ -> false
   | If _ | For _ | While _ | Parallel _ | Gpu_wrapper _ | Alternatives _ -> false
   | Yield _ | Yield_while _ | Return _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Structural hashing and equality                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Alpha-invariant canonicalization: values defined inside the block
+   (including region arguments) are numbered in traversal order, and
+   parallel-loop ids are numbered as encountered, so two blocks that
+   differ only by [Clone.block]'s renaming hash and compare equal.
+   Per-instance ids that cloning refreshes (wid, aid) are ignored. *)
+
+type hasher = {
+  h_idx : int Value.Tbl.t;  (** canonical number per value *)
+  h_pids : (int, int) Hashtbl.t;  (** canonical number per parallel id *)
+  mutable h_next : int;
+  mutable h_acc : int;
+  h_closed : bool;  (** canonicalize free values too (cross-process keys) *)
+}
+
+let h_mix st n = st.h_acc <- (st.h_acc * 1000003) lxor n
+
+(** Hash a *use*. Bound values hash by canonical number. Free values
+    hash by their id when [closed] is false — the contract matched by
+    [Clone.block], which preserves uses of outer values — and by a
+    canonical first-use number when [closed] is true, making the hash a
+    pure function of the block's shape (stable across processes). *)
+let h_value st (v : Value.t) =
+  (match Value.Tbl.find_opt st.h_idx v with
+  | Some k -> h_mix st k
+  | None ->
+      if st.h_closed then begin
+        st.h_next <- st.h_next + 1;
+        let k = -st.h_next in
+        Value.Tbl.replace st.h_idx v k;
+        h_mix st k
+      end
+      else begin
+        h_mix st 0x5eed;
+        h_mix st v.Value.id
+      end);
+  h_mix st (Hashtbl.hash v.Value.ty)
+
+let h_bind st (v : Value.t) =
+  st.h_next <- st.h_next + 1;
+  Value.Tbl.replace st.h_idx v st.h_next;
+  h_mix st (Hashtbl.hash v.Value.ty)
+
+let h_const st = function
+  | Ci n ->
+      h_mix st 1;
+      h_mix st n
+  | Cf f ->
+      h_mix st 2;
+      h_mix st (Int64.to_int (Int64.bits_of_float f))
+
+let h_expr st = function
+  | Const c ->
+      h_mix st 20;
+      h_const st c
+  | Binop (op, a, b) ->
+      h_mix st 21;
+      h_mix st (Hashtbl.hash op);
+      h_value st a;
+      h_value st b
+  | Unop (op, a) ->
+      h_mix st 22;
+      h_mix st (Hashtbl.hash op);
+      h_value st a
+  | Cmp (op, a, b) ->
+      h_mix st 23;
+      h_mix st (Hashtbl.hash op);
+      h_value st a;
+      h_value st b
+  | Select (c, a, b) ->
+      h_mix st 24;
+      h_value st c;
+      h_value st a;
+      h_value st b
+  | Cast a ->
+      h_mix st 25;
+      h_value st a
+  | Load { mem; idx } ->
+      h_mix st 26;
+      h_value st mem;
+      h_value st idx
+
+let rec h_instr st i =
+  (match i with
+  | Let (_, e) ->
+      h_mix st 10;
+      h_expr st e
+  | Store { mem; idx; v } ->
+      h_mix st 11;
+      h_value st mem;
+      h_value st idx;
+      h_value st v
+  | If { cond; _ } ->
+      h_mix st 12;
+      h_value st cond
+  | For { lb; ub; step; inits; _ } ->
+      h_mix st 13;
+      h_value st lb;
+      h_value st ub;
+      h_value st step;
+      List.iter (h_value st) inits
+  | While { inits; _ } ->
+      h_mix st 14;
+      List.iter (h_value st) inits
+  | Parallel { pid; level; ubs; _ } ->
+      h_mix st 15;
+      h_mix st (match level with Blocks -> 0 | Threads -> 1);
+      st.h_next <- st.h_next + 1;
+      Hashtbl.replace st.h_pids pid st.h_next;
+      List.iter (h_value st) ubs
+  | Barrier { scope } -> (
+      h_mix st 16;
+      match Hashtbl.find_opt st.h_pids scope with
+      | Some k -> h_mix st k
+      | None ->
+          (* barrier scoped to a parallel loop outside the block *)
+          h_mix st 0x5eed;
+          h_mix st scope)
+  | Alloc_shared { elt; size; _ } ->
+      h_mix st 17;
+      h_mix st (Hashtbl.hash elt);
+      h_mix st size
+  | Alloc { space; elt; count; _ } ->
+      h_mix st 18;
+      h_mix st (Hashtbl.hash space);
+      h_mix st (Hashtbl.hash elt);
+      h_value st count
+  | Free v ->
+      h_mix st 19;
+      h_value st v
+  | Memcpy { dst; src; count } ->
+      h_mix st 30;
+      h_value st dst;
+      h_value st src;
+      h_value st count
+  | Gpu_wrapper { name; _ } ->
+      h_mix st 31;
+      h_mix st (Hashtbl.hash name)
+  | Alternatives { descs; _ } ->
+      h_mix st 32;
+      List.iter (fun d -> h_mix st (Hashtbl.hash d)) descs
+  | Intrinsic { name; args; _ } ->
+      h_mix st 33;
+      h_mix st (Hashtbl.hash name);
+      List.iter (h_value st) args
+  | Yield vs ->
+      h_mix st 34;
+      List.iter (h_value st) vs
+  | Yield_while (c, vs) ->
+      h_mix st 35;
+      h_value st c;
+      List.iter (h_value st) vs
+  | Return vs ->
+      h_mix st 36;
+      List.iter (h_value st) vs);
+  List.iter
+    (fun (args, r) ->
+      h_mix st 40;
+      List.iter (h_bind st) args;
+      h_block_inner st r)
+    (regions i);
+  List.iter (h_bind st) (defs i)
+
+and h_block_inner st b =
+  h_mix st 41;
+  List.iter (h_instr st) b
+
+(** Structural hash of a block, invariant under [Clone.block]'s
+    renaming of defined values, parallel-loop ids and wrapper ids.
+    With [closed] (default false), values defined *outside* the block
+    are also canonicalized by first use, so the hash depends only on
+    the block's shape — the form used for cross-process cache keys. *)
+let hash_block ?(closed = false) block =
+  let st =
+    {
+      h_idx = Value.Tbl.create 64;
+      h_pids = Hashtbl.create 8;
+      h_next = 0;
+      h_acc = 0x811c9dc5;
+      h_closed = closed;
+    }
+  in
+  h_block_inner st block;
+  st.h_acc land max_int
+
+type eq_env = {
+  e_l : int Value.Tbl.t;
+  e_r : int Value.Tbl.t;
+  e_pl : (int, int) Hashtbl.t;
+  e_pr : (int, int) Hashtbl.t;
+  mutable e_next : int;
+}
+
+let eq_value env (a : Value.t) (b : Value.t) =
+  a.Value.ty = b.Value.ty
+  &&
+  match (Value.Tbl.find_opt env.e_l a, Value.Tbl.find_opt env.e_r b) with
+  | Some i, Some j -> i = j
+  | None, None -> Value.equal a b (* free on both sides: same outer value *)
+  | _ -> false
+
+let eq_bind env (a : Value.t) (b : Value.t) =
+  env.e_next <- env.e_next + 1;
+  Value.Tbl.replace env.e_l a env.e_next;
+  Value.Tbl.replace env.e_r b env.e_next;
+  a.Value.ty = b.Value.ty
+
+let eq_const a b =
+  match (a, b) with
+  | Ci x, Ci y -> x = y
+  | Cf x, Cf y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> false
+
+let eq_expr_shape a b =
+  match (a, b) with
+  | Const x, Const y -> eq_const x y
+  | Binop (oa, _, _), Binop (ob, _, _) -> oa = ob
+  | Unop (oa, _), Unop (ob, _) -> oa = ob
+  | Cmp (oa, _, _), Cmp (ob, _, _) -> oa = ob
+  | Select _, Select _ | Cast _, Cast _ | Load _, Load _ -> true
+  | _ -> false
+
+(** Constructor and scalar-payload equality; value operands, regions
+    and defs are compared generically by the caller. Binds parallel-id
+    pairs as a side effect. *)
+let eq_shape env a b =
+  match (a, b) with
+  | Let (_, ea), Let (_, eb) -> eq_expr_shape ea eb
+  | Store _, Store _ | If _, If _ | For _, For _ | While _, While _ -> true
+  | Parallel { pid = pa; level = la; _ }, Parallel { pid = pb; level = lb; _ } ->
+      la = lb
+      && begin
+           env.e_next <- env.e_next + 1;
+           Hashtbl.replace env.e_pl pa env.e_next;
+           Hashtbl.replace env.e_pr pb env.e_next;
+           true
+         end
+  | Barrier { scope = sa }, Barrier { scope = sb } -> (
+      match (Hashtbl.find_opt env.e_pl sa, Hashtbl.find_opt env.e_pr sb) with
+      | Some i, Some j -> i = j
+      | None, None -> sa = sb
+      | _ -> false)
+  | Alloc_shared { elt = ea; size = sa; _ }, Alloc_shared { elt = eb; size = sb; _ } ->
+      ea = eb && sa = sb
+  | Alloc { space = spa; elt = ea; _ }, Alloc { space = spb; elt = eb; _ } -> spa = spb && ea = eb
+  | Free _, Free _ | Memcpy _, Memcpy _ -> true
+  | Gpu_wrapper { name = na; _ }, Gpu_wrapper { name = nb; _ } -> String.equal na nb
+  | Alternatives { descs = da; _ }, Alternatives { descs = db; _ } ->
+      List.length da = List.length db && List.for_all2 String.equal da db
+  | Intrinsic { name = na; _ }, Intrinsic { name = nb; _ } -> String.equal na nb
+  | Yield _, Yield _ | Yield_while _, Yield_while _ | Return _, Return _ -> true
+  | _ -> false
+
+let rec eq_instr env a b =
+  eq_shape env a b
+  && (let ua = direct_uses a and ub = direct_uses b in
+      List.length ua = List.length ub && List.for_all2 (eq_value env) ua ub)
+  && (let ra = regions a and rb = regions b in
+      List.length ra = List.length rb
+      && List.for_all2
+           (fun (argsa, ba) (argsb, bb) ->
+             List.length argsa = List.length argsb
+             && List.for_all2 (eq_bind env) argsa argsb
+             && eq_block_inner env ba bb)
+           ra rb)
+  &&
+  let da = defs a and db = defs b in
+  List.length da = List.length db && List.for_all2 (eq_bind env) da db
+
+and eq_block_inner env a b = List.length a = List.length b && List.for_all2 (eq_instr env) a b
+
+(** Alpha-invariant structural equality, the exact decision procedure
+    behind [hash_block] (open form): [equal_block a b] implies
+    [hash_block a = hash_block b], and [equal_block b (Clone.block b)]
+    always holds. Free values must be the *same* outer values on both
+    sides — the property memo tables need to reuse a result region. *)
+let equal_block a b =
+  let env =
+    {
+      e_l = Value.Tbl.create 64;
+      e_r = Value.Tbl.create 64;
+      e_pl = Hashtbl.create 8;
+      e_pr = Hashtbl.create 8;
+      e_next = 0;
+    }
+  in
+  eq_block_inner env a b
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

@@ -3,13 +3,13 @@
 
 type t = { id : int; ty : Types.t; hint : string }
 
-let counter = ref 0
+(* Atomic so that cloning and candidate expansion can run on several
+   domains concurrently (parallel alternatives search). *)
+let counter = Atomic.make 0
 
 (** Create a fresh SSA value of type [ty]. The [hint] is a printing
     aid (e.g. the source variable name). *)
-let fresh ?(hint = "v") ty =
-  incr counter;
-  { id = !counter; ty; hint }
+let fresh ?(hint = "v") ty = { id = Atomic.fetch_and_add counter 1 + 1; ty; hint }
 
 (** A fresh value with the same type and hint as [v]; used when
     cloning regions. *)

@@ -11,6 +11,7 @@ module Descriptor = Pgpu_target.Descriptor
 module Backend = Pgpu_target.Backend
 module Tracer = Pgpu_trace.Tracer
 module Json = Pgpu_trace.Json
+module Cache = Pgpu_cache.Cache
 
 let src = Logs.Src.create "pgpu.runtime" ~doc:"Polygeist-GPU host runtime"
 
@@ -40,6 +41,11 @@ type config = {
   tracer : Tracer.t;
       (** launch/memcpy/TDO telemetry sink, timestamped in simulated
           composite time; [Tracer.disabled] = off *)
+  cache : Cache.t;
+      (** persistent TDO cache: committed choices are stored by
+          (kernel hash, target, launch signature, alternative descs),
+          so warm runs skip trial execution and buffer snapshots while
+          reproducing the cold run's choices; [Cache.disabled] = off *)
 }
 
 let default_config target =
@@ -53,6 +59,7 @@ let default_config target =
     memcpy_overhead = 10e-6;
     seed = 0x5eed;
     tracer = Tracer.disabled;
+    cache = Cache.disabled;
   }
 
 type state = {
@@ -70,6 +77,9 @@ type state = {
           but not on every iteration. *)
   freevars_cache : (int, Value.t list) Hashtbl.t;  (** wrapper id -> free values *)
   stats_cache : (int * int, Backend.kernel_stats) Hashtbl.t;
+  khash_cache : (int, int) Hashtbl.t;
+      (** wrapper id -> closed structural hash of its body, so the
+          persistent TDO key is computed once per launch site *)
 }
 
 let create config =
@@ -83,6 +93,7 @@ let create config =
     choices = Hashtbl.create 8;
     freevars_cache = Hashtbl.create 8;
     stats_cache = Hashtbl.create 8;
+    khash_cache = Hashtbl.create 8;
   }
 
 exception Host_error of string
@@ -328,22 +339,83 @@ and launch_signature st ~wid (body : Instr.block) =
     frees;
   Buffer.contents buf
 
+(** Persistent TDO cache key for a launch site: the closed structural
+    hash of the wrapper body (stable across processes, memoized per
+    wrapper id) joined with the target name, the launch signature and
+    the alternative descriptions. Every alternatives region computes
+    the same result, so even a hash collision could only ever affect
+    which (correct) version runs. *)
+and tdo_cache_key st ~wid ~signature (descs : string list) (body : Instr.block) =
+  if not (Cache.enabled st.config.cache) then None
+  else
+    let h =
+      match Hashtbl.find_opt st.khash_cache wid with
+      | Some h -> h
+      | None ->
+          let h = Instr.hash_block ~closed:true body in
+          Hashtbl.replace st.khash_cache wid h;
+          h
+    in
+    Some
+      (Fmt.str "%x/%s/%s/%s" h st.config.target.Descriptor.name signature
+         (String.concat ";" descs))
+
+and cached_choice st ckey n =
+  match ckey with
+  | None -> None
+  | Some key -> (
+      match Cache.find st.config.cache ~ns:"tdo" key with
+      | Some j -> (
+          match Json.member "choice" j with
+          | Some (Json.Int k) when k >= 0 && k < n ->
+              let seconds =
+                match Json.member "seconds" j with Some (Json.Float s) -> s | _ -> 0.
+              in
+              Some (k, seconds)
+          | _ -> None)
+      | None -> None)
+
 (** Timing-driven optimization: measure every region of an
     [Alternatives] op once per launch signature (sampled, on scratch
     copies of the live buffers) and commit to the fastest feasible
     one. Regions that are infeasible on the target are skipped, which
-    subsumes the static shared-memory pruning at runtime. *)
-and choose_alternative st ~name ~wid ~signature (aid : int) (descs : string list) regions =
+    subsumes the static shared-memory pruning at runtime. A choice
+    found in the persistent cache is committed directly: no trials, no
+    buffer snapshot — the warm run replays the cold run's decision. *)
+and choose_alternative st ~name ~wid ~signature ?ckey (aid : int) (descs : string list) regions =
   match Hashtbl.find_opt st.choices (aid, signature) with
   | Some k -> k
   | None ->
       let k =
         if not st.config.tune then min st.config.fixed_choice (List.length regions - 1)
         else begin
+          match cached_choice st ckey (List.length regions) with
+          | Some (k, seconds) ->
+              Log.debug (fun m ->
+                  m "TDO: kernel %s chose alternative %d (%s) from cache" name k
+                    (List.nth descs k));
+              Tracer.instant_at st.config.tracer ~cat:"tdo" ~ts:(ticks st)
+                ~args:
+                  [
+                    ("kernel", Json.Str name);
+                    ("signature", Json.Str signature);
+                    ("alternative", Json.Int k);
+                    ("spec", Json.Str (List.nth descs k));
+                    ("seconds", Json.Float seconds);
+                    ("cached", Json.Bool true);
+                  ]
+                "tdo:choice";
+              k
+          | None -> begin
           (* trial-run every region on scratch copies of the live
              buffers; each trial samples the grids and sums the model's
-             launch estimates *)
+             launch estimates. Machine state (allocator, L2, SM
+             pointer) is restored after every trial so the committed
+             execution — and therefore the composite time — is
+             bit-identical whether trials ran or were answered from the
+             cache. *)
           let snap = snapshot_buffers st in
+          let msnap = Exec.snapshot_machine st.machine in
           let best = ref (-1) and best_t = ref infinity in
           List.iteri
             (fun k region ->
@@ -352,7 +424,8 @@ and choose_alternative st ~name ~wid ~signature (aid : int) (descs : string list
                 Fun.protect
                   ~finally:(fun () ->
                     st.trial <- false;
-                    restore_buffers snap)
+                    restore_buffers snap;
+                    Exec.restore_machine st.machine msnap)
                   (fun () ->
                     let probe = ref 0. in
                     try
@@ -389,7 +462,18 @@ and choose_alternative st ~name ~wid ~signature (aid : int) (descs : string list
                 ("seconds", Json.Float !best_t);
               ]
             "tdo:choice";
+          Option.iter
+            (fun key ->
+              Cache.add st.config.cache ~ns:"tdo" key
+                (Json.Obj
+                   [
+                     ("choice", Json.Int !best);
+                     ("spec", Json.Str (List.nth descs !best));
+                     ("seconds", Json.Float !best_t);
+                   ]))
+            ckey;
           !best
+        end
         end
       in
       Hashtbl.replace st.choices (aid, signature) k;
@@ -423,7 +507,10 @@ and exec_wrapper st ~name ~wid (body : Instr.block) =
       let signature =
         if st.config.tune then launch_signature st ~wid body else ""
       in
-      let k = choose_alternative st ~name ~wid ~signature aid descs regions in
+      let ckey =
+        if st.config.tune then tdo_cache_key st ~wid ~signature descs body else None
+      in
+      let k = choose_alternative st ~name ~wid ~signature ?ckey aid descs regions in
       exec_kernel_region st ~name ~wid ~alt:k (List.nth regions k)
   | _ -> exec_kernel_region st ~name ~wid ~alt:(-1) body
 
@@ -530,8 +617,24 @@ let run ?(fname = "main") config (m : Instr.modul) (args : Exec.rv list) =
       (List.length args);
   let st = create config in
   List.iter2 (bind st) f.Instr.params args;
+  let cache_on = Cache.enabled config.cache in
+  let th0, tm0, _ = if cache_on then Cache.ns_stats config.cache "tdo" else (0, 0, 0) in
   match exec_host_block st f.Instr.body with
-  | `Return vs -> (vs, st)
+  | `Return vs ->
+      (* per-run TDO cache telemetry (deltas over this run) and
+         write-back; gated on an enabled cache so default traces are
+         unchanged *)
+      if cache_on then begin
+        let th1, tm1, _ = Cache.ns_stats config.cache "tdo" in
+        Log.debug (fun k ->
+            k "TDO cache: %d hit(s), %d miss(es)" (th1 - th0) (tm1 - tm0));
+        Tracer.counter config.tracer ~ts:(ticks st) "cache.tdo.hits"
+          (float_of_int (th1 - th0));
+        Tracer.counter config.tracer ~ts:(ticks st) "cache.tdo.misses"
+          (float_of_int (tm1 - tm0));
+        Cache.flush config.cache
+      end;
+      (vs, st)
   | _ -> host_fail "%s did not return" fname
 
 (** Launch records in program order. *)

@@ -38,6 +38,12 @@ type config = {
   tracer : Pgpu_trace.Tracer.t;
       (** launch/memcpy/TDO telemetry sink, timestamped in simulated
           composite time; [Tracer.disabled] (the default) = off *)
+  cache : Pgpu_cache.Cache.t;
+      (** persistent TDO cache: committed choices are stored under
+          (kernel hash, target, launch signature, alternative descs),
+          so a warm run skips trial execution and buffer snapshots
+          entirely while reproducing the cold run's choices exactly;
+          [Cache.disabled] (the default) = off *)
 }
 
 val default_config : Descriptor.t -> config

@@ -36,3 +36,13 @@ val transpose : 'a list list -> 'a list list
 val cartesian : 'a list list -> 'a list list
 
 val option_value_exn : msg:string -> 'a option -> 'a
+
+(** [parallel_map ~jobs f l] is [List.map f l] computed on up to
+    [jobs] domains, preserving order; plain map when [jobs <= 1] or
+    the list is shorter than two elements. Exceptions from [f] are
+    re-raised in the caller after all domains have joined. *)
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Worker count for parallel compilation phases: [PGPU_JOBS] when
+    set, else available cores capped at 4 (min 1). *)
+val default_jobs : unit -> int

@@ -21,6 +21,9 @@ module Backend = Pgpu_target.Backend
 module Occupancy = Pgpu_target.Occupancy
 module Tracer = Pgpu_trace.Tracer
 module Json = Pgpu_trace.Json
+module Cache = Pgpu_cache.Cache
+module Codec = Pgpu_cache.Codec
+module Util = Pgpu_support.Util
 
 type decision =
   | Kept
@@ -28,6 +31,7 @@ type decision =
   | Rejected_shmem of int  (** bytes demanded *)
   | Rejected_spill of int  (** new spills *)
   | Rejected_occupancy of string
+  | Rejected_duplicate of string  (** structurally equal to an already-kept alternative *)
 
 type candidate = {
   spec : Coarsen.spec;
@@ -42,11 +46,60 @@ let pp_decision ppf = function
   | Rejected_shmem b -> Fmt.pf ppf "rejected: %d B of shared memory" b
   | Rejected_spill n -> Fmt.pf ppf "rejected: %d new spills" n
   | Rejected_occupancy m -> Fmt.pf ppf "rejected: %s" m
+  | Rejected_duplicate d -> Fmt.pf ppf "duplicate of %s" d
 
 (** Scalar cleanup run on every replica after coarsening. *)
 let cleanup (region : Instr.block) =
   region |> Canonicalize.run_block |> Cse.run_block |> Licm.run_block |> Cse.run_block
   |> Dce.run_block |> Barrier_elim.run_block
+
+(* In-process memo tables, shared across [expand] calls so repeated
+   compiles of structurally identical kernels (benchmark sweeps, the
+   warm half of a cold/warm comparison) skip the cleanup pipeline and
+   the backend analysis. Only consulted when a cache is supplied;
+   keyed by the alpha-invariant structural hash with full structural
+   equality as the verifier, so hash collisions can never alias. *)
+let cleanup_memo : (Instr.block, Instr.block) Cache.Memo.t = Cache.Memo.create ()
+
+let analyze_memo : (string * Instr.block, Backend.kernel_stats) Cache.Memo.t =
+  Cache.Memo.create ()
+
+(** Combined (hits, misses) of the in-process compile memos, for
+    per-compile telemetry deltas. *)
+let memo_counters () =
+  ( Cache.Memo.hits cleanup_memo + Cache.Memo.hits analyze_memo,
+    Cache.Memo.misses cleanup_memo + Cache.Memo.misses analyze_memo )
+
+let cleanup_cached cache region =
+  if not (Cache.enabled cache) then cleanup region
+  else
+    let cleaned, hit =
+      Cache.Memo.find_or_add_hit cleanup_memo ~hash:(Instr.hash_block region)
+        ~equal:Instr.equal_block region (fun () -> cleanup region)
+    in
+    (* a memo hit hands back a region already owned by an earlier
+       caller: clone it so SSA ids stay unique across kernel instances *)
+    if hit then Clone.block cleaned else cleaned
+
+(** Backend analysis through both cache layers: the in-process memo
+    (keyed by the open hash — exact on free values) backed by the
+    persistent store (keyed by the closed hash, which is stable across
+    processes, joined with the target name). *)
+let analyze_cached (t : Descriptor.t) cache region =
+  if not (Cache.enabled cache) then Backend.analyze t region
+  else
+    Cache.Memo.find_or_add analyze_memo
+      ~hash:(Hashtbl.hash t.Descriptor.name lxor Instr.hash_block region)
+      ~equal:(fun (n1, r1) (n2, r2) -> String.equal n1 n2 && Instr.equal_block r1 r2)
+      (t.Descriptor.name, region)
+      (fun () ->
+        let key = Fmt.str "%x/%s" (Instr.hash_block ~closed:true region) t.Descriptor.name in
+        match Option.bind (Cache.find cache ~ns:"stats" key) Codec.kernel_stats_of_json with
+        | Some stats -> stats
+        | None ->
+            let stats = Backend.analyze t region in
+            Cache.add cache ~ns:"stats" key (Codec.json_of_kernel_stats stats);
+            stats)
 
 (** Static block size of a kernel region if fully constant. *)
 let static_block_size ~const_of region =
@@ -89,55 +142,85 @@ let trace_candidate tracer (c : candidate) =
 
 (** Expand one kernel region into alternatives for the given coarsening
     specs. The first spec should be the identity so a baseline always
-    survives. Returns the new region together with the pruning report. *)
-let expand (t : Descriptor.t) ?(tracer = Tracer.disabled) ?(outer_const = fun _ -> None)
-    ~(specs : Coarsen.spec list) (region : Instr.block) : Instr.block * candidate list =
+    survives. Returns the new region together with the pruning report.
+    With an enabled [cache], cleanup and backend analysis are memoized
+    by structural hash and candidates whose coarsened region is
+    structurally equal to an already-kept alternative are dropped; with
+    [jobs > 1], candidates are evaluated on a pool of domains. *)
+let expand (t : Descriptor.t) ?(tracer = Tracer.disabled) ?(cache = Cache.disabled)
+    ?(jobs = 1) ?(outer_const = fun _ -> None) ~(specs : Coarsen.spec list)
+    (region : Instr.block) : Instr.block * candidate list =
   let with_outer local v = match local v with Some n -> Some n | None -> outer_const v in
-  let baseline_stats = Backend.analyze t (cleanup region) in
+  let baseline = cleanup_cached cache region in
+  let baseline_stats = analyze_cached t cache baseline in
+  let eval_spec spec =
+    let desc = Fmt.str "%a" Coarsen.pp_spec spec in
+    let fresh = Clone.block region in
+    let consts = Coarsen.const_tbl [ fresh ] in
+    let const_of = with_outer (Coarsen.lookup_const consts) in
+    match Coarsen.coarsen_region ~const_of spec fresh with
+    | Error m -> ({ spec; desc; decision = Rejected_illegal m; stats = None }, None)
+    | Ok coarsened -> (
+        let coarsened = cleanup_cached cache coarsened in
+        let stats = analyze_cached t cache coarsened in
+        if stats.Backend.static_shmem > t.Descriptor.max_shmem_per_block then
+          ( { spec; desc; decision = Rejected_shmem stats.Backend.static_shmem; stats = Some stats },
+            None )
+        else if stats.Backend.spilled > baseline_stats.Backend.spilled then
+          ( {
+              spec;
+              desc;
+              decision = Rejected_spill (stats.Backend.spilled - baseline_stats.Backend.spilled);
+              stats = Some stats;
+            },
+            None )
+        else begin
+          (* coarsening introduced fresh block-dimension constants: top
+             up the replica's environment instead of rebuilding it *)
+          Coarsen.add_consts consts [ coarsened ];
+          let occ_ok =
+            match static_block_size ~const_of coarsened with
+            | None -> Ok ()
+            | Some threads ->
+                Result.map_error
+                  (fun e -> Fmt.str "%a" Occupancy.pp_rejection e)
+                  (Occupancy.check t
+                     {
+                       Occupancy.threads_per_block = threads;
+                       regs_per_thread = stats.Backend.regs_per_thread;
+                       shmem_per_block = stats.Backend.static_shmem;
+                     })
+          in
+          match occ_ok with
+          | Error m -> ({ spec; desc; decision = Rejected_occupancy m; stats = Some stats }, None)
+          | Ok () -> ({ spec; desc; decision = Kept; stats = Some stats }, Some coarsened)
+        end)
+  in
   let candidates =
-    List.map
-      (fun spec ->
-        let desc = Fmt.str "%a" Coarsen.pp_spec spec in
-        let fresh = Clone.block region in
-        let const_of = with_outer (Coarsen.const_env [ fresh ]) in
-        match Coarsen.coarsen_region ~const_of spec fresh with
-        | Error m -> ({ spec; desc; decision = Rejected_illegal m; stats = None }, None)
-        | Ok coarsened -> (
-            let coarsened = cleanup coarsened in
-            let stats = Backend.analyze t coarsened in
-            if stats.Backend.static_shmem > t.Descriptor.max_shmem_per_block then
-              ( { spec; desc; decision = Rejected_shmem stats.Backend.static_shmem; stats = Some stats },
-                None )
-            else if stats.Backend.spilled > baseline_stats.Backend.spilled then
-              ( {
-                  spec;
-                  desc;
-                  decision = Rejected_spill (stats.Backend.spilled - baseline_stats.Backend.spilled);
-                  stats = Some stats;
-                },
-                None )
-            else
-              let occ_ok =
-                match
-                  static_block_size ~const_of:(with_outer (Coarsen.const_env [ coarsened ]))
-                    coarsened
-                with
-                | None -> Ok ()
-                | Some threads ->
-                    Result.map_error
-                      (fun e -> Fmt.str "%a" Occupancy.pp_rejection e)
-                      (Occupancy.check t
-                         {
-                           Occupancy.threads_per_block = threads;
-                           regs_per_thread = stats.Backend.regs_per_thread;
-                           shmem_per_block = stats.Backend.static_shmem;
-                         })
-              in
-              match occ_ok with
-              | Error m ->
-                  ({ spec; desc; decision = Rejected_occupancy m; stats = Some stats }, None)
-              | Ok () -> ({ spec; desc; decision = Kept; stats = Some stats }, Some coarsened)))
-      specs
+    if jobs <= 1 then List.map eval_spec specs else Util.parallel_map ~jobs eval_spec specs
+  in
+  (* with a cache, drop survivors that coarsen + clean up to a region
+     structurally equal to one already kept: the runtime would trial
+     identical code twice for nothing. Sequential and in spec order, so
+     the surviving set is deterministic regardless of [jobs]. *)
+  let candidates =
+    if not (Cache.enabled cache) then candidates
+    else
+      let seen : (int * Instr.block * string) list ref = ref [] in
+      List.map
+        (fun (c, r) ->
+          match r with
+          | None -> (c, r)
+          | Some region_k -> (
+              let h = Instr.hash_block region_k in
+              match
+                List.find_opt (fun (h', r', _) -> h' = h && Instr.equal_block r' region_k) !seen
+              with
+              | Some (_, _, twin) -> ({ c with decision = Rejected_duplicate twin }, None)
+              | None ->
+                  seen := (h, region_k, c.desc) :: !seen;
+                  (c, r)))
+        candidates
   in
   let report = List.map fst candidates in
   List.iter (trace_candidate tracer) report;
@@ -147,7 +230,7 @@ let expand (t : Descriptor.t) ?(tracer = Tracer.disabled) ?(outer_const = fun _ 
   match kept with
   | [] ->
       (* always keep the (cleaned) baseline *)
-      (cleanup region, report)
+      (baseline, report)
   | [ (_, only) ] -> (only, report)
   | _ ->
       let descs = List.map fst kept and regions = List.map snd kept in

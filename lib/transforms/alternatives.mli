@@ -16,6 +16,9 @@ type decision =
   | Rejected_shmem of int  (** bytes demanded *)
   | Rejected_spill of int  (** new spills vs the baseline *)
   | Rejected_occupancy of string
+  | Rejected_duplicate of string
+      (** structurally equal (up to renaming) to the already-kept
+          alternative named by the payload *)
 
 type candidate = {
   spec : Coarsen.spec;
@@ -30,17 +33,30 @@ val pp_decision : decision Fmt.t
     (canonicalize, CSE, LICM, CSE, DCE, barrier elimination). *)
 val cleanup : Instr.block -> Instr.block
 
+(** Combined (hits, misses) of the process-wide compile memo tables
+    (cleanup + backend analysis), for per-compile telemetry deltas. *)
+val memo_counters : unit -> int * int
+
 (** Expand one kernel region into alternatives for the given specs.
     [outer_const] resolves constants defined outside the region (e.g.
     block dimensions deduplicated into the host code by CSE). With a
     [tracer], one instant event is emitted per candidate carrying the
     spec, the decision (including the exact rejection reason) and the
-    backend statistics consulted. Returns the new region and the
-    pruning report; when at most one candidate survives, no
-    [Alternatives] op is introduced. *)
+    backend statistics consulted. With an enabled [cache], the cleanup
+    pipeline and backend analysis are memoized by alpha-invariant
+    structural hash (backend statistics additionally persist in the
+    ["stats"] namespace of the cache, keyed by closed hash and target
+    name), and kept candidates structurally equal to an earlier one are
+    demoted to [Rejected_duplicate]. With [jobs > 1], candidates are
+    evaluated concurrently on that many domains; results are reported
+    in spec order either way. Returns the new region and the pruning
+    report; when at most one candidate survives, no [Alternatives] op
+    is introduced. *)
 val expand :
   Descriptor.t ->
   ?tracer:Pgpu_trace.Tracer.t ->
+  ?cache:Pgpu_cache.Cache.t ->
+  ?jobs:int ->
   ?outer_const:(Value.t -> int option) ->
   specs:Coarsen.spec list ->
   Instr.block ->

@@ -32,11 +32,11 @@ let pp_factors ppf f = Fmt.pf ppf "(%d,%d,%d)" f.x f.y f.z
     prime factors of the total, largest first. *)
 let balance ~usable totalf = of_list (Pgpu_support.Util.balance_factor ~usable totalf)
 
-(** Map from SSA values to their statically-known constant, built by
-    scanning a region for constant [Let]s. Used for the thread-factor
-    divisibility check and to elide epilogues for divisible grids. *)
-let const_env (blocks : Instr.block list) =
-  let tbl = Value.Tbl.create 64 in
+(** Add the statically-known constants of [blocks] (constant [Let]s,
+    found by a deep scan) to an existing table — used to top up a
+    replica's environment with the constants coarsening introduced
+    without rebuilding it from scratch. *)
+let add_consts tbl (blocks : Instr.block list) =
   List.iter
     (fun b ->
       Instr.iter_deep
@@ -45,8 +45,20 @@ let const_env (blocks : Instr.block list) =
           | Instr.Let (v, Instr.Const (Instr.Ci n)) -> Value.Tbl.replace tbl v n
           | _ -> ())
         b)
-    blocks;
-  fun v -> Value.Tbl.find_opt tbl v
+    blocks
+
+(** Table from SSA values to their statically-known constant. Used for
+    the thread-factor divisibility check and to elide epilogues for
+    divisible grids. *)
+let const_tbl (blocks : Instr.block list) =
+  let tbl = Value.Tbl.create 64 in
+  add_consts tbl blocks;
+  tbl
+
+let lookup_const tbl v = Value.Tbl.find_opt tbl v
+
+(** [const_env blocks] is [lookup_const (const_tbl blocks)]. *)
+let const_env blocks = lookup_const (const_tbl blocks)
 
 (* ------------------------------------------------------------------ *)
 (* Region plumbing                                                     *)

@@ -29,6 +29,14 @@ val balance : usable:bool list -> int -> factors
     constant [Let]s; used for divisor checks and epilogue elision. *)
 val const_env : Instr.block list -> Value.t -> int option
 
+(** Table-backed form of [const_env], so one environment can be built
+    per coarsening replica and extended in place with the constants
+    the transformation introduces ([add_consts]). *)
+val const_tbl : Instr.block list -> int Value.Tbl.t
+
+val add_consts : int Value.Tbl.t -> Instr.block list -> unit
+val lookup_const : int Value.Tbl.t -> Value.t -> int option
+
 (** A coarsening request per level: explicit per-dimension factors, or
     a *total* factor balanced over the usable dimensions of the
     specific kernel (Section IV-C). *)

@@ -17,6 +17,13 @@ type options = {
   verify : bool;  (** verify the module between stages *)
   tracer : Pgpu_trace.Tracer.t;
       (** pass/pruning telemetry sink; [Tracer.disabled] (the default) = off *)
+  cache : Pgpu_cache.Cache.t;
+      (** content-addressed cache: memoizes candidate cleanup/analysis,
+          persists backend statistics, deduplicates kept alternatives.
+          [Cache.disabled] (the default) = off *)
+  jobs : int;
+      (** domains for parallel candidate expansion; 1 (the default) =
+          sequential *)
 }
 
 val default_options : Descriptor.t -> options
