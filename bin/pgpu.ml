@@ -334,6 +334,124 @@ let profile_cmd =
       const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
       $ choice_arg $ args_arg $ trace_arg $ metrics_arg $ json_arg)
 
+(* --- check --- *)
+
+let check_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"mini-CUDA source file (or use $(b,--bench)).")
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~docv:"NAME"
+          ~doc:"Check a bundled benchmark instead of a source file (see $(b,pgpu list)).")
+  in
+  let dynamic_arg =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ]
+          ~doc:
+            "Also execute the program on the simulator with the dynamic race detector \
+             attached: every shared-memory address touched by a lane is tracked per barrier \
+             epoch, and cross-lane conflicts with no intervening barrier are reported with \
+             the conflicting ops and addresses.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON to $(docv).")
+  in
+  let run () file bench target no_opt coarsen dynamic args json =
+    let source, bench_def =
+      match (file, bench) with
+      | _, Some name ->
+          let b = (try P.Rodinia.find name with Failure _ -> P.Hecbench.find name) in
+          (b.P.Bench_def.source, Some b)
+      | Some f, None -> (read_file f, None)
+      | None, None -> failwith "pgpu check: need a FILE or --bench NAME"
+    in
+    let c = P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~target ~source () in
+    (* static diagnostics over everything the compile shipped (the
+       baseline and every kept alternative) *)
+    let static_diags = P.Check.check_modul c.P.modul in
+    (* candidates the race gate pruned during expansion never reach the
+       module; surface them as warnings so the pruning is visible *)
+    let pruned =
+      List.concat_map
+        (fun (kr : P.Pipeline.kernel_report) ->
+          List.filter_map
+            (fun (cand : P.Alternatives.candidate) ->
+              match cand.P.Alternatives.decision with
+              | P.Alternatives.Rejected_racy m ->
+                  Some
+                    {
+                      P.Report.severity = P.Report.Warning;
+                      kind = "rejected-candidate";
+                      kernel = kr.P.Pipeline.kernel ^ ":" ^ cand.P.Alternatives.desc;
+                      message = "candidate pruned by the race checker: " ^ m;
+                    }
+              | _ -> None)
+            kr.P.Pipeline.candidates)
+        c.P.report.P.Pipeline.kernels
+    in
+    let dynamic_diags =
+      if not dynamic then []
+      else begin
+        let rc = P.Racecheck.create () in
+        let args =
+          match (args, bench_def) with
+          | [], Some b -> b.P.Bench_def.args
+          | args, _ -> args
+        in
+        try
+          ignore (P.run ~racecheck:rc c ~args);
+          P.Check.diagnostics_of_racecheck rc
+        with
+        | P.Exec.Device_error m ->
+            P.Check.diagnostics_of_racecheck rc
+            @ [
+                {
+                  P.Report.severity = P.Report.Error;
+                  kind = "device-error";
+                  kernel = "main";
+                  message = "execution failed: " ^ m;
+                };
+              ]
+        | P.Runtime.Host_error m | Failure m ->
+            P.Check.diagnostics_of_racecheck rc
+            @ [
+                {
+                  P.Report.severity = P.Report.Error;
+                  kind = "device-error";
+                  kernel = "main";
+                  message = "host execution failed: " ^ m;
+                };
+              ]
+      end
+    in
+    let diags = P.Report.sort (static_diags @ pruned @ dynamic_diags) in
+    Fmt.pr "%s@." (P.Report.to_string diags);
+    Option.iter
+      (fun path ->
+        P.Trace.Json.to_file path (P.Report.to_json diags);
+        Logs.info (fun m -> m "report written to %s" path))
+      json;
+    if P.Report.has_errors diags then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Static shared-memory race and barrier-safety analysis of every kernel (and every \
+          coarsened alternative), with an optional simulator-backed dynamic race detector.")
+    Term.(
+      const run $ setup_logs_t $ file_arg $ bench_arg $ target_arg $ no_opt_arg $ coarsen_arg
+      $ dynamic_arg $ args_arg $ json_arg)
+
 (* --- hipify --- *)
 
 let hipify_cmd =
@@ -375,6 +493,6 @@ let main =
        ~doc:
          "Retargeting and respecializing GPU workloads for performance portability \
           (CGO 2024 reproduction on simulated GPUs).")
-    [ compile_cmd; run_cmd; bench_cmd; profile_cmd; hipify_cmd; list_cmd ]
+    [ compile_cmd; run_cmd; bench_cmd; check_cmd; profile_cmd; hipify_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,47 @@
+// Deliberately broken kernels for `pgpu check`:
+//  - blur: classic missing-barrier race — every thread writes tile[t]
+//    and then reads thread 255-t's element with no __syncthreads()
+//    in between.
+//  - bad_reduce: tree reduction with the barrier moved inside the
+//    thread-dependent guard, so not all threads of a block reach it.
+
+__global__ void blur(float* in, float* out, int n) {
+  __shared__ float tile[256];
+  int t = threadIdx.x;
+  int i = blockIdx.x * 256 + t;
+  tile[t] = in[i];
+  out[i] = 0.5f * tile[t] + 0.5f * tile[255 - t];
+}
+
+__global__ void bad_reduce(float* in, float* out) {
+  __shared__ float smem[256];
+  int t = threadIdx.x;
+  smem[t] = in[blockIdx.x * 256 + t];
+  __syncthreads();
+  for (int k = 0; k < 8; k++) {
+    int s = 128 >> k;
+    if (t < s) {
+      smem[t] += smem[t + s];
+      __syncthreads();
+    }
+  }
+  if (t == 0) {
+    out[blockIdx.x] = smem[0];
+  }
+}
+
+float* main(int nb) {
+  int n = nb * 256;
+  float* hin = (float*)malloc(n * sizeof(float));
+  float* hout = (float*)malloc(n * sizeof(float));
+  fill_rand(hin, 7);
+  float* din; float* dblur; float* dsum;
+  cudaMalloc((void**)&din, n * sizeof(float));
+  cudaMalloc((void**)&dblur, n * sizeof(float));
+  cudaMalloc((void**)&dsum, nb * sizeof(float));
+  cudaMemcpy(din, hin, n * sizeof(float), cudaMemcpyHostToDevice);
+  blur<<<nb, 256>>>(din, dblur, n);
+  bad_reduce<<<nb, 256>>>(din, dsum);
+  cudaMemcpy(hout, dblur, n * sizeof(float), cudaMemcpyDeviceToHost);
+  return hout;
+}

@@ -1,0 +1,26 @@
+(** Entry points tying the static checker and the simulator-backed
+    dynamic race detector into one diagnostic report. *)
+
+module Racecheck = Pgpu_gpusim.Racecheck
+
+let check_modul = Static_check.check_modul
+let check_region = Static_check.check_region
+
+(** Convert the conflicts recorded by an instrumented execution into
+    diagnostics. *)
+let diagnostics_of_racecheck ?(kernel = "kernel") (rc : Racecheck.t) : Report.diagnostic list =
+  List.map
+    (fun (c : Racecheck.conflict) ->
+      {
+        Report.severity = Report.Error;
+        kind = "dynamic-race";
+        kernel;
+        message =
+          Fmt.str
+            "%s conflict on shared address %d (sector %d) in block %d, barrier epoch %d: '%s' \
+             by lane %d vs '%s' by lane %d with no intervening barrier"
+            (match c.Racecheck.ckind with `WW -> "write-write" | `RW -> "read-write")
+            c.Racecheck.addr c.Racecheck.sector c.Racecheck.block c.Racecheck.epoch
+            c.Racecheck.op1 c.Racecheck.lane1 c.Racecheck.op2 c.Racecheck.lane2;
+      })
+    (Racecheck.conflicts rc)

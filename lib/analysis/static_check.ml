@@ -1,0 +1,744 @@
+(** Static barrier-safety and shared-memory race checking over the IR
+    (in the spirit of GPUVerify, scaled to this IR's structured
+    regions).
+
+    The thread-level parallel body is partitioned into {e barrier
+    epochs}: maximal access sets not separated by a scoped barrier.
+    Two distinct threads of one block race iff two accesses to the
+    same shared buffer, at least one a write, can touch the same
+    element within one epoch. Every access is summarized as a
+    thread-index-affine index (or an affine base XOR a uniform mask,
+    for butterfly patterns) plus the stack of control-flow guards
+    under which it executes; pairs are then discharged with the
+    {!Affine} decision procedures over two renamed thread instances.
+
+    Loops containing a scoped barrier execute in lockstep, so their
+    counter is a single symbol shared by both instances and epochs
+    wrap around the loop back-edge (the tail segment of iteration [i]
+    shares an epoch with the head segment of iteration [i + step]).
+    Loops without a barrier run independently per thread: their
+    counter is renamed per instance. Data-dependent guards are dropped
+    (a sound over-approximation); accesses whose index the affine
+    domain cannot represent produce a conservative "unknown index"
+    warning.
+
+    Barrier divergence: a scoped barrier under control flow that
+    depends on the barrier's own parallel's induction variables is an
+    error (the paper's barrier legality rule); under uniform control
+    flow that is merely opaque (e.g. block-index-dependent) it is a
+    warning. *)
+
+open Pgpu_ir
+module A = Affine
+
+(* ------------------------------------------------------------------ *)
+(* Classification domain                                               *)
+(* ------------------------------------------------------------------ *)
+
+type buf = { bid : int; bname : string; size : int }
+
+(** What the checker knows about an SSA value. *)
+type cls =
+  | Aff of A.t
+  | Xorv of { base : A.t; mask : A.t }  (** thread-dep base XOR uniform mask *)
+  | Bufv of buf
+  | Unk of bool  (** [true] = (possibly) thread-dependent *)
+
+type guard =
+  | Gcmp of Ops.cmpop * A.t * A.t
+  | Gmod0 of { e : A.t; m : A.t }  (** [e % m == 0], [m] uniform *)
+  | Gxor of { base : A.t; mask : A.t; gt : bool }
+      (** [(base ^ mask) > base] when [gt], else [<=] *)
+  | Gopaque of bool  (** dropped; [true] = thread-dependent *)
+
+type iform = Ix of A.t | Ixor of { base : A.t; mask : A.t }
+
+type access = {
+  abuf : buf;
+  idx : iform;
+  write : bool;
+  guards : guard list;
+  descr : string;  (** e.g. ["store smem[t + s]"] *)
+}
+
+type st = {
+  mutable diags : Report.diagnostic list;
+  mutable counter : int;  (** symbol ids, local to one check *)
+  defs : (int, Instr.expr) Hashtbl.t;
+  free : (int, cls) Hashtbl.t;  (** classification of free values *)
+  const_of : Value.t -> int option;
+      (** resolver for constants defined outside the region (the host
+          code CSEs block dimensions and literals out of the kernel) *)
+  mutable quiet : bool;  (** suppress diagnostics (loop re-walks) *)
+  mutable tsyms : A.sym list;  (** thread ivs of the parallel being checked *)
+}
+
+let mk_st ?(const_of = fun _ -> None) () =
+  {
+    diags = [];
+    counter = 0;
+    defs = Hashtbl.create 64;
+    free = Hashtbl.create 16;
+    const_of;
+    quiet = false;
+    tsyms = [];
+  }
+
+let diag st ~kernel ~severity ~kind message =
+  if not st.quiet then
+    st.diags <- { Report.severity; kind; kernel; message } :: st.diags
+
+let fresh_sym st ?(lo = None) ?(hi = None) ~kind name =
+  st.counter <- st.counter + 1;
+  { A.sid = st.counter; name; kind; lo; hi }
+
+let opaque st ?lo ?hi name = Aff (A.of_sym (fresh_sym st ~lo ~hi ~kind:A.Shared name))
+
+module Env = Map.Make (Int)
+
+type env = cls Env.t
+
+let thread_dep = function
+  | Aff a -> A.is_thread_dep a
+  | Xorv _ -> true
+  | Bufv _ -> false
+  | Unk td -> td
+
+let uniform c = not (thread_dep c)
+
+let lookup st (env : env) (v : Value.t) : cls =
+  match Env.find_opt v.Value.id env with
+  | Some c -> c
+  | None -> (
+      (* free value of the region: an opaque uniform (kernel argument,
+         grid size, host-computed scalar, device buffer) *)
+      match Hashtbl.find_opt st.free v.Value.id with
+      | Some c -> c
+      | None ->
+          let c =
+            match st.const_of v with
+            | Some n -> Aff (A.const n)
+            | None -> opaque st v.Value.hint
+          in
+          Hashtbl.add st.free v.Value.id c;
+          c)
+
+let interval_of st env (v : Value.t) =
+  match lookup st env v with Aff a -> A.interval a | _ -> (None, None)
+
+(* ------------------------------------------------------------------ *)
+(* Expression classification                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ival_binop op (l1, h1) (l2, h2) =
+  let all4 f =
+    match (l1, h1, l2, h2) with
+    | Some a, Some b, Some c, Some d ->
+        let xs = [ f a c; f a d; f b c; f b d ] in
+        (Some (List.fold_left min (f a c) xs), Some (List.fold_left max (f a c) xs))
+    | _ -> (None, None)
+  in
+  let nonneg = match (l1, l2) with Some a, Some c -> a >= 0 && c >= 0 | _ -> false in
+  match op with
+  | Ops.Mul -> all4 ( * )
+  | Ops.Min -> all4 min
+  | Ops.Max -> all4 max
+  | Ops.Shl when nonneg -> (
+      match (l1, h1, l2, h2) with
+      | Some a, Some b, Some c, Some d when d < 62 -> (Some (a lsl c), Some (b lsl d))
+      | _ -> (None, None))
+  | Ops.Shr when nonneg -> (
+      match (l1, h1, l2, h2) with
+      | Some a, Some b, Some c, Some d -> (Some (a asr d), Some (b asr c))
+      | _ -> (None, None))
+  | Ops.Div when nonneg -> (
+      match (l1, h1, l2, h2) with
+      | Some a, Some b, Some c, Some d when c > 0 -> (Some (a / d), Some (b / c))
+      | _ -> (None, None))
+  | Ops.Rem -> (
+      match h2 with
+      | Some d when nonneg -> (Some 0, match h1 with Some b -> Some (min b (d - 1)) | None -> Some (d - 1))
+      | _ -> (None, None))
+  | _ -> (None, None)
+
+let cls_expr st (env : env) (res : Value.t) (e : Instr.expr) : cls =
+  let cv v = lookup st env v in
+  let opaque_binop ~kind op a b =
+    (* non-affine arithmetic: a fresh opaque symbol with an interval
+       derived from the operands. [Shared] when the inputs are uniform
+       across the block, [Local] when they depend on a per-instance
+       loop counter (both instances of the pair check then disagree on
+       its value, as they may in an unsynchronized loop). *)
+    let ia = match cv a with Aff x -> A.interval x | _ -> (None, None) in
+    let ib = match cv b with Aff x -> A.interval x | _ -> (None, None) in
+    let lo, hi = ival_binop op ia ib in
+    Aff (A.of_sym (fresh_sym st ~lo ~hi ~kind res.Value.hint))
+  in
+  let opaque_uniform = opaque_binop ~kind:A.Shared in
+  match e with
+  | Instr.Const (Instr.Ci n) -> Aff (A.const n)
+  | Instr.Const (Instr.Cf _) -> Unk false
+  | Instr.Cast a -> if Types.is_float res.Value.ty then Unk (thread_dep (cv a)) else cv a
+  | Instr.Unop (_, a) -> Unk (thread_dep (cv a))
+  | Instr.Cmp (_, a, b) -> Unk (thread_dep (cv a) || thread_dep (cv b))
+  | Instr.Select (c, a, b) ->
+      if List.for_all uniform [ cv c; cv a; cv b ] then opaque st res.Value.hint
+      else Unk true
+  | Instr.Load { mem; idx } -> Unk (thread_dep (cv mem) || thread_dep (cv idx))
+  | Instr.Binop (op, a, b) -> (
+      let ca = cv a and cb = cv b in
+      let is_zero = function Aff z -> A.is_const z && z.A.const = 0 | _ -> false in
+      match (op, ca, cb) with
+      (* adding/xoring a provably-zero term preserves any class, in
+         particular the XOR-partner form the frontend wraps in a
+         `0 * dim + ixj` flattened 2-D index *)
+      | (Ops.Add | Ops.Or | Ops.Xor), z, c when is_zero z -> c
+      | (Ops.Add | Ops.Sub | Ops.Or | Ops.Xor), c, z when is_zero z -> c
+      | Ops.Add, Aff x, Aff y -> Aff (A.add x y)
+      | Ops.Sub, Aff x, Aff y -> Aff (A.sub x y)
+      | Ops.Mul, Aff x, Aff y -> (
+          match A.mul x y with
+          | Some z -> Aff z
+          | None ->
+              if A.is_uniform x && A.is_uniform y then opaque_uniform op a b
+              else if (not (A.has_thread x)) && not (A.has_thread y) then
+                opaque_binop ~kind:A.Local op a b
+              else Unk true)
+      | Ops.Shl, Aff x, Aff y when A.is_const y && y.A.const >= 0 && y.A.const < 31 ->
+          Aff (A.scale (1 lsl y.A.const) x)
+      | Ops.Xor, Aff x, Aff y when A.is_thread_dep x && A.is_uniform y -> Xorv { base = x; mask = y }
+      | Ops.Xor, Aff x, Aff y when A.is_uniform x && A.is_thread_dep y -> Xorv { base = y; mask = x }
+      | (Ops.Div | Ops.Rem | Ops.And | Ops.Or | Ops.Xor | Ops.Shl | Ops.Shr | Ops.Min | Ops.Max | Ops.Pow), _, _
+        when uniform ca && uniform cb ->
+          opaque_uniform op a b
+      | ( (Ops.Div | Ops.Rem | Ops.And | Ops.Or | Ops.Xor | Ops.Shl | Ops.Shr | Ops.Min | Ops.Max | Ops.Pow),
+          Aff x,
+          Aff y )
+        when (not (A.has_thread x)) && not (A.has_thread y) ->
+          opaque_binop ~kind:A.Local op a b
+      | _, _, _ -> Unk (thread_dep ca || thread_dep cb))
+
+(* ------------------------------------------------------------------ *)
+(* Guards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let guard_thread_dep = function
+  | Gcmp (_, x, y) -> A.is_thread_dep x || A.is_thread_dep y
+  | Gmod0 { e; _ } -> A.is_thread_dep e
+  | Gxor _ -> true
+  | Gopaque td -> td
+
+let neg_cmp = function
+  | Ops.Eq -> Ops.Ne
+  | Ops.Ne -> Ops.Eq
+  | Ops.Lt -> Ops.Ge
+  | Ops.Ge -> Ops.Lt
+  | Ops.Le -> Ops.Gt
+  | Ops.Gt -> Ops.Le
+
+let negate_guard = function
+  | Gcmp (op, x, y) -> Gcmp (neg_cmp op, x, y)
+  | Gxor r -> Gxor { r with gt = not r.gt }
+  | Gmod0 { e; _ } -> Gopaque (A.is_thread_dep e)
+  | Gopaque td -> Gopaque td
+
+(** Summarize an [If] condition as a guard by inspecting its defining
+    comparison. *)
+let guard_of_cond st (env : env) (cond : Value.t) : guard =
+  let fallback () = Gopaque (thread_dep (lookup st env cond)) in
+  match Hashtbl.find_opt st.defs cond.Value.id with
+  | Some (Instr.Cmp (op, a, b)) -> (
+      let mod_guard x mv =
+        match (lookup st env x, lookup st env mv) with
+        | Aff e, Aff m when A.is_uniform m -> Some (Gmod0 { e; m })
+        | _ -> None
+      in
+      let is_zero v = match lookup st env v with Aff z -> A.is_const z && z.A.const = 0 | _ -> false in
+      match (lookup st env a, lookup st env b) with
+      | Aff x, Aff y -> Gcmp (op, x, y)
+      | Xorv { base; mask }, Aff y when A.equal base y && (op = Ops.Gt || op = Ops.Le) ->
+          Gxor { base; mask; gt = op = Ops.Gt }
+      | Aff y, Xorv { base; mask } when A.equal base y && (op = Ops.Lt || op = Ops.Ge) ->
+          Gxor { base; mask; gt = op = Ops.Lt }
+      | _, _ -> (
+          (* t % m == 0 (either side the Rem) *)
+          let try_mod u v =
+            if op = Ops.Eq && is_zero v then
+              match Hashtbl.find_opt st.defs u.Value.id with
+              | Some (Instr.Binop (Ops.Rem, x, mv)) -> mod_guard x mv
+              | _ -> None
+            else None
+          in
+          match try_mod a b with
+          | Some g -> g
+          | None -> ( match try_mod b a with Some g -> g | None -> fallback ())))
+  | _ -> fallback ()
+
+(* ------------------------------------------------------------------ *)
+(* The epoch walker                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Accesses of the thread body, partitioned by barriers: [closed] are
+    the finished epochs inside the walked region, [open_] the accesses
+    since the last barrier. *)
+type flow = { closed : access list list; open_ : access list }
+
+let fl0 = { closed = []; open_ = [] }
+
+let pp_iform ppf = function
+  | Ix a -> A.pp ppf a
+  | Ixor { base; mask } -> Fmt.pf ppf "(%a) ^ (%a)" A.pp base A.pp mask
+
+let record_access st ~kernel (env : env) guards fl ~write (mem : Value.t) (idxv : Value.t) =
+  match lookup st env mem with
+  | Bufv b -> (
+      let push idx =
+        let descr =
+          Fmt.str "%s %s[%a]" (if write then "store" else "load") b.bname pp_iform idx
+        in
+        { fl with open_ = { abuf = b; idx; write; guards; descr } :: fl.open_ }
+      in
+      match lookup st env idxv with
+      | Aff a -> push (Ix a)
+      | Xorv { base; mask } -> push (Ixor { base; mask })
+      | Unk _ | Bufv _ ->
+          diag st ~kernel ~severity:Report.Warning ~kind:"unknown-index"
+            (Fmt.str
+               "cannot summarize the index %%%s of a %s to shared buffer %s; assuming it may \
+                race"
+               idxv.Value.hint
+               (if write then "store" else "load")
+               b.bname);
+          fl)
+  | _ -> fl (* global or host memory: out of scope *)
+
+(** Branch flow normalized for merging: the segment glued to the
+    preceding epoch, fully interior epochs, and the segment glued to
+    the following epoch. A barrier-free branch contributes its
+    accesses to both sides (sound whether or not the branch splits). *)
+let branch_parts (f : flow) =
+  match f.closed with
+  | [] -> (f.open_, [], f.open_)
+  | first :: rest -> (first, rest, f.open_)
+
+(* [guards] is every predicate known to hold at the program point (used
+   as constraints by the pair checker); [ctl] is the subset coming from
+   actual branching ([If]/[While]) — only those witness that a barrier
+   may be control-divergent. Thread-domain bounds and lockstep loop
+   bounds hold for every thread and never divide a block. *)
+let rec walk_block st ~kernel ~tpid (env : env) ~(ctl : guard list) (guards : guard list)
+    (fl : flow) (b : Instr.block) : flow * env =
+  List.fold_left
+    (fun (fl, env) i -> walk_instr st ~kernel ~tpid env ~ctl guards fl i)
+    (fl, env) b
+
+and walk_instr st ~kernel ~tpid (env : env) ~ctl guards fl (i : Instr.instr) : flow * env =
+  match i with
+  | Instr.Let (v, e) ->
+      Hashtbl.replace st.defs v.Value.id e;
+      let fl =
+        match e with
+        | Instr.Load { mem; idx } -> record_access st ~kernel env guards fl ~write:false mem idx
+        | _ -> fl
+      in
+      (fl, Env.add v.Value.id (cls_expr st env v e) env)
+  | Instr.Store { mem; idx; _ } ->
+      (record_access st ~kernel env guards fl ~write:true mem idx, env)
+  | Instr.Alloc_shared { res; size; _ } ->
+      ( fl,
+        Env.add res.Value.id
+          (Bufv { bid = res.Value.id; bname = res.Value.hint; size })
+          env )
+  | Instr.Barrier { scope } ->
+      if scope = tpid then begin
+        (match List.find_opt guard_thread_dep ctl with
+        | Some _ ->
+            diag st ~kernel ~severity:Report.Error ~kind:"barrier-divergence"
+              "barrier under thread-dependent control flow: threads of one block may not all \
+               reach it"
+        | None ->
+            if ctl <> [] then
+              diag st ~kernel ~severity:Report.Warning ~kind:"barrier-divergence"
+                "barrier under non-affine (but block-uniform) control flow; epoch analysis \
+                 assumes all threads reach it");
+        ({ closed = fl.closed @ [ fl.open_ ]; open_ = [] }, env)
+      end
+      else (fl, env)
+  | Instr.If { cond; results; then_; else_ } ->
+      let g = guard_of_cond st env cond in
+      let tfl, _ = walk_block st ~kernel ~tpid env ~ctl:(g :: ctl) (g :: guards) fl0 then_ in
+      let efl, _ =
+        walk_block st ~kernel ~tpid env ~ctl:(negate_guard g :: ctl) (negate_guard g :: guards)
+          fl0 else_
+      in
+      let fl =
+        if tfl.closed = [] && efl.closed = [] then
+          { fl with open_ = fl.open_ @ tfl.open_ @ efl.open_ }
+        else begin
+          let tf, tm, tl = branch_parts tfl and ef, em, el = branch_parts efl in
+          { closed = fl.closed @ [ fl.open_ @ tf @ ef ] @ tm @ em; open_ = tl @ el }
+        end
+      in
+      let env =
+        List.fold_left
+          (fun env (r : Value.t) ->
+            Env.add r.Value.id
+              (if guard_thread_dep g then Unk true else opaque st r.Value.hint)
+              env)
+          env results
+      in
+      (fl, env)
+  | Instr.For { iv; lb; ub; step; iter_args; results; body; _ } ->
+      let clb = lookup st env lb and cub = lookup st env ub and cstep = lookup st env step in
+      let lo_iv, _ = interval_of st env lb in
+      let _, hi_ub = interval_of st env ub in
+      let hi_iv = Option.map (fun h -> h - 1) hi_ub in
+      let bound_guards ivc =
+        let gs = match clb with Aff l -> [ Gcmp (Ops.Ge, ivc, l) ] | _ -> [] in
+        match cub with Aff u -> Gcmp (Ops.Lt, ivc, u) :: gs | _ -> gs
+      in
+      let bind_iters env =
+        List.fold_left (fun env (a : Value.t) -> Env.add a.Value.id (Unk true) env) env iter_args
+      in
+      let bind_results env =
+        List.fold_left (fun env (r : Value.t) -> Env.add r.Value.id (Unk true) env) env results
+      in
+      let fl =
+        if Instr.contains_barrier ~scope:tpid body then begin
+          (* lockstep loop: one shared counter, wrap-around epochs *)
+          if List.exists thread_dep [ clb; cub; cstep ] then
+            diag st ~kernel ~severity:Report.Error ~kind:"barrier-divergence"
+              "barrier inside a loop with thread-dependent bounds: threads may execute \
+               different trip counts";
+          let s = fresh_sym st ~lo:lo_iv ~hi:hi_iv ~kind:A.Shared iv.Value.hint in
+          let ivc = A.of_sym s in
+          let env_body = bind_iters (Env.add iv.Value.id (Aff ivc) env) in
+          let bfl, _ =
+            walk_block st ~kernel ~tpid env_body ~ctl (bound_guards ivc @ guards) fl0 body
+          in
+          (* the head segment of the next iteration, for the wrap-around
+             epoch: re-walk with iv+step (locals get fresh symbols) *)
+          let next_head =
+            let stepc = match cstep with Aff a -> a | _ -> A.const 1 in
+            let ivn = A.add ivc stepc in
+            let envn = bind_iters (Env.add iv.Value.id (Aff ivn) env) in
+            let gn =
+              (match clb with Aff l -> [ Gcmp (Ops.Ge, ivn, A.add l stepc) ] | _ -> [])
+              @ (match cub with Aff u -> [ Gcmp (Ops.Lt, ivn, u) ] | _ -> [])
+              @ guards
+            in
+            let was_quiet = st.quiet in
+            st.quiet <- true;
+            let nfl, _ = walk_block st ~kernel ~tpid envn ~ctl gn fl0 body in
+            st.quiet <- was_quiet;
+            match nfl.closed with c :: _ -> c | [] -> nfl.open_
+          in
+          match bfl.closed with
+          | [] -> { fl with open_ = fl.open_ @ bfl.open_ } (* barrier had a different scope *)
+          | first :: middles ->
+              let taken =
+                match (clb, cub) with
+                | Aff l, Aff u -> (
+                    match (snd (A.interval l), fst (A.interval u)) with
+                    | Some lbhi, Some ublo -> lbhi < ublo
+                    | _ -> false)
+                | _ -> false
+              in
+              {
+                closed = fl.closed @ [ fl.open_ @ first ] @ middles @ [ bfl.open_ @ next_head ];
+                open_ = (if taken then bfl.open_ else bfl.open_ @ fl.open_);
+              }
+        end
+        else begin
+          (* barrier-free loop: threads iterate independently *)
+          let s = fresh_sym st ~lo:lo_iv ~hi:hi_iv ~kind:A.Local iv.Value.hint in
+          let ivc = A.of_sym s in
+          let env_body = bind_iters (Env.add iv.Value.id (Aff ivc) env) in
+          let bfl, _ =
+            walk_block st ~kernel ~tpid env_body ~ctl (bound_guards ivc @ guards) fl0 body
+          in
+          { fl with open_ = fl.open_ @ bfl.open_ @ List.concat bfl.closed }
+        end
+      in
+      (fl, bind_results env)
+  | Instr.While { iter_args; results; body; _ } ->
+      if Instr.contains_barrier ~scope:tpid body then
+        diag st ~kernel ~severity:Report.Error ~kind:"barrier-divergence"
+          "barrier inside a data-dependent while loop: threads may execute different trip \
+           counts";
+      let env_body =
+        List.fold_left (fun env (a : Value.t) -> Env.add a.Value.id (Unk true) env) env iter_args
+      in
+      let bfl, _ =
+        walk_block st ~kernel ~tpid env_body ~ctl:(Gopaque true :: ctl)
+          (Gopaque true :: guards) fl0 body
+      in
+      let env =
+        List.fold_left (fun env (r : Value.t) -> Env.add r.Value.id (Unk true) env) env results
+      in
+      ({ fl with open_ = fl.open_ @ bfl.open_ @ List.concat bfl.closed }, env)
+  | Instr.Parallel _ | Instr.Gpu_wrapper _ | Instr.Alternatives _ | Instr.Alloc _ | Instr.Free _
+  | Instr.Memcpy _ | Instr.Intrinsic _ | Instr.Yield _ | Instr.Yield_while _ | Instr.Return _ ->
+      (fl, env)
+
+(* ------------------------------------------------------------------ *)
+(* Pair checking                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Affine constraint of a guard for one instance; [None] when the
+    guard carries no conjunctive information. *)
+let constraint_of_guard = function
+  | Gcmp (Ops.Lt, x, y) -> Some (A.add_const (-1) (A.sub y x))
+  | Gcmp (Ops.Le, x, y) -> Some (A.sub y x)
+  | Gcmp (Ops.Gt, x, y) -> Some (A.add_const (-1) (A.sub x y))
+  | Gcmp (Ops.Ge, x, y) -> Some (A.sub x y)
+  | Gcmp ((Ops.Eq | Ops.Ne), _, _) | Gmod0 _ | Gxor _ | Gopaque _ -> None
+
+let eq_of_guard = function Gcmp (Ops.Eq, x, y) -> Some (A.sub x y) | _ -> None
+
+type verdict = Safe | Racy | Unprovable
+
+(** Decide one pair of accesses for two distinct thread instances. *)
+let check_pair st (a1 : access) (a2 : access) : verdict =
+  (* instance renamings for per-thread symbols *)
+  let inst tag =
+    let tbl = Hashtbl.create 8 in
+    fun (s : A.sym) ->
+      match Hashtbl.find_opt tbl s.A.sid with
+      | Some s' -> s'
+      | None ->
+          st.counter <- st.counter + 1;
+          let s' = { s with A.sid = st.counter; name = s.A.name ^ tag } in
+          Hashtbl.add tbl s.A.sid s';
+          s'
+  in
+  let r1 = inst "₁" and r2 = inst "₂" in
+  let guard_constraints r gs sys =
+    List.fold_left
+      (fun sys g ->
+        let sys =
+          match constraint_of_guard g with
+          | Some c -> A.with_ge (A.rename r c) sys
+          | None -> sys
+        in
+        match eq_of_guard g with Some e -> A.with_eq (A.rename r e) sys | None -> sys)
+      sys gs
+  in
+  let inbounds r (b : buf) = function
+    | Ix a ->
+        fun sys ->
+          let a = A.rename r a in
+          A.with_ge a (A.with_ge (A.sub (A.const (b.size - 1)) a) sys)
+    | Ixor _ -> fun sys -> sys
+  in
+  (* collision condition *)
+  let affine_collision =
+    match (a1.idx, a2.idx) with
+    | Ix x1, Ix x2 -> Some (A.sub (A.rename r1 x1) (A.rename r2 x2))
+    | Ixor { base = b1; mask = m1 }, Ixor { base = b2; mask = m2 } ->
+        if A.equal m1 m2 then Some (A.sub (A.rename r1 b1) (A.rename r2 b2)) else None
+    | Ix a, Ixor x | Ixor x, Ix a ->
+        (* the antisymmetric swap rule: collision means a = base ^ mask;
+           if both instances are guarded by (own ^ mask) > own, the
+           XOR involution gives base > a and a > base: contradiction. *)
+        let guarded base gs =
+          List.exists
+            (function
+              | Gxor { base = gb; mask = gm; gt = true } -> A.equal gb base && A.equal gm x.mask
+              | _ -> false)
+            gs
+        in
+        let ga, gx = if match a1.idx with Ix _ -> true | _ -> false then (a1.guards, a2.guards) else (a2.guards, a1.guards) in
+        if guarded a ga && guarded x.base gx then Some (A.const 1) (* unsatisfiable marker *)
+        else None
+  in
+  match affine_collision with
+  | None -> Unprovable
+  | Some c when A.is_const c && c.A.const <> 0 -> Safe (* swap rule discharged it *)
+  | Some collision ->
+      let base_sys =
+        A.empty |> A.with_eq collision
+        |> guard_constraints r1 a1.guards
+        |> guard_constraints r2 a2.guards
+        |> inbounds r1 a1.abuf a1.idx |> inbounds r2 a2.abuf a2.idx
+      in
+      let mod_pairs =
+        List.concat_map
+          (fun g1 ->
+            match g1 with
+            | Gmod0 { e = e1; m = m1 } ->
+                List.filter_map
+                  (function
+                    | Gmod0 { e = e2; m = m2 } when A.equal m1 m2 ->
+                        Some (A.sub (A.rename r1 e1) (A.rename r2 e2), m1)
+                    | _ -> None)
+                  a2.guards
+            | _ -> [])
+          a1.guards
+      in
+      let branch_infeasible extra =
+        let sys = A.with_ge extra base_sys in
+        A.infeasible sys
+        || List.exists (fun (d, m) -> A.mod_guard_infeasible sys ~d ~m) mod_pairs
+      in
+      let distinct_branches =
+        List.concat_map
+          (fun (t : A.sym) ->
+            let t1 = A.of_sym (r1 t) and t2 = A.of_sym (r2 t) in
+            [ A.add_const (-1) (A.sub t1 t2); A.add_const (-1) (A.sub t2 t1) ])
+          st.tsyms
+      in
+      if distinct_branches = [] then Safe (* no thread dimension: single lane *)
+      else if List.for_all branch_infeasible distinct_branches then Safe
+      else Racy
+
+let check_epochs st ~kernel (epochs : access list list) =
+  List.iteri
+    (fun ei accesses ->
+      let arr = Array.of_list accesses in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = i to n - 1 do
+          let a1 = arr.(i) and a2 = arr.(j) in
+          if a1.abuf.bid = a2.abuf.bid && (a1.write || a2.write) then
+            match check_pair st a1 a2 with
+            | Safe -> ()
+            | Racy ->
+                diag st ~kernel ~severity:Report.Error ~kind:"shared-race"
+                  (Fmt.str
+                     "possible %s-%s race on shared buffer %s between '%s' and '%s' (barrier \
+                      epoch %d): distinct threads can touch the same element"
+                     (if a1.write then "write" else "read")
+                     (if a2.write then "write" else "read")
+                     a1.abuf.bname a1.descr a2.descr ei)
+            | Unprovable ->
+                diag st ~kernel ~severity:Report.Warning ~kind:"possible-race"
+                  (Fmt.str
+                     "cannot prove '%s' and '%s' disjoint on shared buffer %s (barrier epoch \
+                      %d)"
+                     a1.descr a2.descr a1.abuf.bname ei)
+        done
+      done)
+    epochs
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Walk the uniform (host / grid) context: classify values, recurse
+    through structure, and check every thread-level parallel found. *)
+let rec walk_uniform st ~kernel (env : env) (b : Instr.block) : env =
+  List.fold_left
+    (fun env (i : Instr.instr) ->
+      match i with
+      | Instr.Let (v, e) ->
+          Hashtbl.replace st.defs v.Value.id e;
+          Env.add v.Value.id (cls_expr st env v e) env
+      | Instr.Alloc_shared { res; size; _ } ->
+          Env.add res.Value.id (Bufv { bid = res.Value.id; bname = res.Value.hint; size }) env
+      | Instr.Gpu_wrapper { name; body; _ } ->
+          ignore (walk_uniform st ~kernel:name env body);
+          env
+      | Instr.Alternatives { descs; regions; _ } ->
+          List.iter2
+            (fun desc region ->
+              ignore (walk_uniform st ~kernel:(kernel ^ ":" ^ desc) env region))
+            descs regions;
+          env
+      | Instr.Parallel { level = Instr.Blocks; ivs; ubs; body; _ } ->
+          let env =
+            List.fold_left2
+              (fun env (iv : Value.t) ub ->
+                let _, hi_ub = interval_of st env ub in
+                let s =
+                  fresh_sym st ~lo:(Some 0)
+                    ~hi:(Option.map (fun h -> h - 1) hi_ub)
+                    ~kind:A.Shared iv.Value.hint
+                in
+                Env.add iv.Value.id (Aff (A.of_sym s)) env)
+              env ivs ubs
+          in
+          ignore (walk_uniform st ~kernel env body);
+          env
+      | Instr.Parallel { level = Instr.Threads; pid; ivs; ubs; body } ->
+          let saved_tsyms = st.tsyms in
+          let env_t, tsyms, tguards =
+            List.fold_left2
+              (fun (env, tsyms, gs) (iv : Value.t) ub ->
+                let _, hi_ub = interval_of st env ub in
+                let s =
+                  fresh_sym st ~lo:(Some 0)
+                    ~hi:(Option.map (fun h -> h - 1) hi_ub)
+                    ~kind:(A.Thread (List.length tsyms))
+                    iv.Value.hint
+                in
+                let ivc = A.of_sym s in
+                let gs =
+                  match lookup st env ub with
+                  | Aff u -> Gcmp (Ops.Lt, ivc, u) :: Gcmp (Ops.Ge, ivc, A.const 0) :: gs
+                  | _ -> Gcmp (Ops.Ge, ivc, A.const 0) :: gs
+                in
+                (Env.add iv.Value.id (Aff ivc) env, tsyms @ [ s ], gs))
+              (env, [], []) ivs ubs
+          in
+          st.tsyms <- tsyms;
+          let fl, _ = walk_block st ~kernel ~tpid:pid env_t ~ctl:[] tguards fl0 body in
+          check_epochs st ~kernel (fl.closed @ [ fl.open_ ]);
+          st.tsyms <- saved_tsyms;
+          env
+      | Instr.If { then_; else_; results; _ } ->
+          ignore (walk_uniform st ~kernel env then_);
+          ignore (walk_uniform st ~kernel env else_);
+          List.fold_left
+            (fun env (r : Value.t) -> Env.add r.Value.id (opaque st r.Value.hint) env)
+            env results
+      | Instr.For { iv; lb; ub; iter_args; results; body; _ } ->
+          let lo_iv, _ = interval_of st env lb in
+          let _, hi_ub = interval_of st env ub in
+          let s =
+            fresh_sym st ~lo:lo_iv ~hi:(Option.map (fun h -> h - 1) hi_ub) ~kind:A.Shared
+              iv.Value.hint
+          in
+          let env_body =
+            List.fold_left
+              (fun env (a : Value.t) -> Env.add a.Value.id (opaque st a.Value.hint) env)
+              (Env.add iv.Value.id (Aff (A.of_sym s)) env)
+              iter_args
+          in
+          ignore (walk_uniform st ~kernel env_body body);
+          List.fold_left
+            (fun env (r : Value.t) -> Env.add r.Value.id (opaque st r.Value.hint) env)
+            env results
+      | Instr.While { iter_args; results; body; _ } ->
+          let env_body =
+            List.fold_left
+              (fun env (a : Value.t) -> Env.add a.Value.id (opaque st a.Value.hint) env)
+              env iter_args
+          in
+          ignore (walk_uniform st ~kernel env_body body);
+          List.fold_left
+            (fun env (r : Value.t) -> Env.add r.Value.id (opaque st r.Value.hint) env)
+            env results
+      | Instr.Store _ | Instr.Barrier _ | Instr.Alloc _ | Instr.Free _ | Instr.Memcpy _
+      | Instr.Intrinsic _ | Instr.Yield _ | Instr.Yield_while _ | Instr.Return _ ->
+          env)
+    env b
+
+let dedup ds =
+  List.sort_uniq compare ds
+
+(** Check a kernel region (the body of a [Gpu_wrapper], or a candidate
+    region produced by [Alternatives.expand]). [const_of] resolves
+    constants the host code defines outside the region — without it
+    thread bounds and halo offsets degrade to opaque symbols and the
+    checker loses most of its precision. *)
+let check_region ?const_of ~kernel (region : Instr.block) : Report.diagnostic list =
+  let st = mk_st ?const_of () in
+  ignore (walk_uniform st ~kernel Env.empty region);
+  dedup (List.rev st.diags)
+
+(** Check every kernel of a module. *)
+let check_modul (m : Instr.modul) : Report.diagnostic list =
+  let st = mk_st () in
+  List.iter (fun (f : Instr.func) -> ignore (walk_uniform st ~kernel:f.Instr.fname Env.empty f.Instr.body)) m.Instr.funcs;
+  dedup (List.rev st.diags)

@@ -1,0 +1,16 @@
+(** JSON codecs for the values the persistent cache stores.
+
+    The writer in {!Pgpu_trace.Json} always emits enough digits for
+    floats to round-trip bit-exactly, so statistics read back from a
+    warm cache reproduce the multi-versioning decisions (spill
+    comparisons, occupancy checks, timing-model inputs) of the cold
+    compile exactly. *)
+
+module Json = Pgpu_trace.Json
+module Backend = Pgpu_target.Backend
+
+val json_of_kernel_stats : Backend.kernel_stats -> Json.t
+
+(** [None] when a field is missing or ill-typed (e.g. a cache file
+    written by an older build); callers fall back to recomputing. *)
+val kernel_stats_of_json : Json.t -> Backend.kernel_stats option

@@ -36,6 +36,10 @@ module Trace = Pgpu_trace
 module Tracer = Pgpu_trace.Tracer
 module Cache = Pgpu_cache.Cache
 module Profile = Pgpu_profile
+module Analysis = Pgpu_analysis
+module Check = Pgpu_analysis.Check
+module Report = Pgpu_analysis.Report
+module Racecheck = Pgpu_gpusim.Racecheck
 
 type compiled = {
   target : Descriptor.t;
@@ -89,8 +93,8 @@ type run_result = {
     @param functional execute every block (exact outputs); disable for
     timing-only sweeps on large grids *)
 let run ?(tune = false) ?(fixed_choice = 0) ?(functional = true) ?(sample_blocks = 24)
-    ?(tracer = Tracer.disabled) ?(cache = Cache.disabled) (c : compiled) ~(args : int list) :
-    run_result =
+    ?(tracer = Tracer.disabled) ?(cache = Cache.disabled) ?racecheck (c : compiled)
+    ~(args : int list) : run_result =
   let config =
     {
       (Runtime.default_config c.target) with
@@ -100,6 +104,7 @@ let run ?(tune = false) ?(fixed_choice = 0) ?(functional = true) ?(sample_blocks
       sample_blocks;
       tracer;
       cache;
+      racecheck;
     }
   in
   let results, st = Runtime.run config c.modul (List.map (fun n -> Exec.UI n) args) in

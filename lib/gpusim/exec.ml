@@ -38,6 +38,9 @@ type machine = {
   mutable shared_as_global : bool;
       (** AMD backend behaviour on shared-memory-heavy kernels: the
           allocation is demoted to global memory (Section VII-D2) *)
+  mutable racecheck : Racecheck.t option;
+      (** opt-in dynamic race detector; [None] (the default) keeps
+          every instrumentation hook to a single match *)
 }
 
 let create_machine (target : Pgpu_target.Descriptor.t) =
@@ -52,6 +55,7 @@ let create_machine (target : Pgpu_target.Descriptor.t) =
     next_sm = 0;
     observed_threads = 1;
     shared_as_global = false;
+    racecheck = None;
   }
 
 type machine_snapshot = {
@@ -284,6 +288,13 @@ let vec_access ctx (mask : mask) ~is_store (bufs : Memory.buf array) (idxs : int
       write l b idxs.(l)
     end
   done;
+  (match ctx.m.racecheck with
+  | None -> ()
+  | Some rc ->
+      for l = 0 to ctx.nlanes - 1 do
+        if mask.bits.(l) && bufs.(l).Memory.space = Types.Shared then
+          Racecheck.record rc ~is_store ~lane:l ~addr:addrs.(l)
+      done);
   let space =
     (* all lanes access the same address space in well-typed IR *)
     let rec first l = if l >= ctx.nlanes then Types.Global else if mask.bits.(l) then bufs.(l).Memory.space else first (l + 1) in
@@ -419,6 +430,9 @@ let eval_expr ctx (mask : mask) (res : Value.t) (e : Instr.expr) : rv =
       else VI (to_vi n ra)
   | Instr.Load { mem; idx } ->
       let bufs = to_vb n (lookup env mem) and idxs = to_vi n (lookup env idx) in
+      (match ctx.m.racecheck with
+      | None -> ()
+      | Some rc -> Racecheck.set_op rc (Fmt.str "load %a" Value.pp mem));
       if Types.is_float (Types.elem mem.Value.ty) then begin
         let out = Array.make n 0. in
         vec_access ctx mask ~is_store:false bufs idxs (fun l b i -> out.(l) <- Memory.get_f b i);
@@ -495,6 +509,9 @@ and exec_instr ctx (mask : mask) (i : Instr.instr) : unit =
   | Instr.Let (v, e) -> bind env v (eval_expr ctx mask v e)
   | Instr.Store { mem; idx; v } ->
       let bufs = to_vb n (lookup env mem) and idxs = to_vi n (lookup env idx) in
+      (match ctx.m.racecheck with
+      | None -> ()
+      | Some rc -> Racecheck.set_op rc (Fmt.str "store %a" Value.pp mem));
       let rv = lookup env v in
       if Types.is_float (Types.elem mem.Value.ty) then
         let vals = to_vf n rv in
@@ -641,6 +658,7 @@ and exec_instr ctx (mask : mask) (i : Instr.instr) : unit =
   | Instr.Barrier _ ->
       if mask.active <> ctx.nlanes then
         device_fail "barrier divergence: %d of %d lanes active" mask.active ctx.nlanes;
+      (match ctx.m.racecheck with None -> () | Some rc -> Racecheck.barrier rc);
       ctx.m.counters.Counters.barriers <- ctx.m.counters.Counters.barriers +. float_of_int mask.warps;
       ctx.m.counters.Counters.warp_insts <-
         ctx.m.counters.Counters.warp_insts +. float_of_int mask.warps
@@ -723,6 +741,7 @@ let launch (m : machine) ~(mode : mode) ~(env : env) (p : Instr.instr) : launch_
             List.iteri
               (fun k (iv : Value.t) -> bind env iv (UI (List.nth coords k)))
               ivs;
+            (match m.racecheck with None -> () | Some rc -> Racecheck.new_block rc lb);
             let sm = m.next_sm in
             m.next_sm <- (m.next_sm + 1) mod m.target.Pgpu_target.Descriptor.sm_count;
             let ctx = { m; env; nlanes = 1; ws = m.target.Pgpu_target.Descriptor.warp_size; sm } in

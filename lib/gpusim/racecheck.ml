@@ -1,0 +1,122 @@
+(** Dynamic shared-memory race detection (the simulator's equivalent
+    of [compute-sanitizer --tool racecheck]).
+
+    Opt-in: the executor carries an optional detector and every hook is
+    a single [match] on [None] when disabled, so instrumentation is
+    free unless requested. When enabled, every shared-memory byte
+    address touched by a lane is recorded into per-address read/write
+    sets; a write to an address some {e other} lane wrote or read since
+    the last barrier — or a read of an address another lane wrote — is
+    a conflict. Sets reset on every scoped barrier (the epoch boundary)
+    and at the start of every block; conflicts are deduplicated at
+    32-byte sector granularity per op pair, so large grids produce
+    bounded reports. *)
+
+type conflict = {
+  ckind : [ `WW | `RW ];
+  addr : int;  (** byte address of the collision *)
+  sector : int;  (** [addr / 32] *)
+  block : int;  (** linear block index *)
+  epoch : int;  (** barrier epoch within the block *)
+  op1 : string;  (** earlier access *)
+  lane1 : int;
+  op2 : string;  (** later (conflicting) access *)
+  lane2 : int;
+}
+
+type cell = {
+  mutable writer : int;  (** lane of the recorded writer, -1 if none *)
+  mutable writer_op : string;
+  mutable reader : int;  (** lane of a recorded reader, -1 if none *)
+  mutable reader_op : string;
+  mutable reader2 : int;  (** a second reader from a different lane, -1 if none *)
+  mutable reader2_op : string;
+}
+
+type t = {
+  cells : (int, cell) Hashtbl.t;  (** byte address -> access summary for the current epoch *)
+  seen : (string * string * [ `WW | `RW ] * int, unit) Hashtbl.t;  (** (op1, op2, kind, sector) *)
+  mutable conflicts : conflict list;  (** most recent first; bounded *)
+  mutable total : int;  (** all conflicts, including deduplicated/overflowed ones *)
+  mutable epoch : int;
+  mutable block : int;
+  mutable current_op : string;  (** set by the executor before each memory op *)
+}
+
+let max_reported = 64
+
+let create () =
+  {
+    cells = Hashtbl.create 256;
+    seen = Hashtbl.create 64;
+    conflicts = [];
+    total = 0;
+    epoch = 0;
+    block = 0;
+    current_op = "?";
+  }
+
+let set_op t op = t.current_op <- op
+
+let report t ~ckind ~addr ~lane1 ~op1 ~lane2 ~op2 =
+  t.total <- t.total + 1;
+  let sector = addr / 32 in
+  let key = (op1, op2, ckind, sector) in
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.add t.seen key ();
+    if List.length t.conflicts < max_reported then
+      t.conflicts <-
+        { ckind; addr; sector; block = t.block; epoch = t.epoch; op1; lane1; op2; lane2 }
+        :: t.conflicts
+  end
+
+let cell_of t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | Some c -> c
+  | None ->
+      let c =
+        { writer = -1; writer_op = ""; reader = -1; reader_op = ""; reader2 = -1; reader2_op = "" }
+      in
+      Hashtbl.add t.cells addr c;
+      c
+
+(** Record one lane touching one shared byte address. *)
+let record t ~is_store ~lane ~addr =
+  let c = cell_of t addr in
+  if is_store then begin
+    if c.writer >= 0 && c.writer <> lane then
+      report t ~ckind:`WW ~addr ~lane1:c.writer ~op1:c.writer_op ~lane2:lane ~op2:t.current_op;
+    if c.reader >= 0 && c.reader <> lane then
+      report t ~ckind:`RW ~addr ~lane1:c.reader ~op1:c.reader_op ~lane2:lane ~op2:t.current_op
+    else if c.reader2 >= 0 && c.reader2 <> lane then
+      report t ~ckind:`RW ~addr ~lane1:c.reader2 ~op1:c.reader2_op ~lane2:lane ~op2:t.current_op;
+    c.writer <- lane;
+    c.writer_op <- t.current_op
+  end
+  else begin
+    if c.writer >= 0 && c.writer <> lane then
+      report t ~ckind:`RW ~addr ~lane1:c.writer ~op1:c.writer_op ~lane2:lane ~op2:t.current_op;
+    if c.reader < 0 then begin
+      c.reader <- lane;
+      c.reader_op <- t.current_op
+    end
+    else if c.reader <> lane && c.reader2 < 0 then begin
+      c.reader2 <- lane;
+      c.reader2_op <- t.current_op
+    end
+  end
+
+(** A scoped barrier: advance the epoch and forget the access sets. *)
+let barrier t =
+  t.epoch <- t.epoch + 1;
+  Hashtbl.reset t.cells
+
+(** Start of a new block: epochs restart and access sets are dropped
+    (addresses are only comparable within one block). *)
+let new_block t b =
+  t.block <- b;
+  t.epoch <- 0;
+  Hashtbl.reset t.cells
+
+let conflicts t = List.rev t.conflicts
+let total_conflicts t = t.total

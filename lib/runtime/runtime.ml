@@ -46,6 +46,9 @@ type config = {
           (kernel hash, target, launch signature, alternative descs),
           so warm runs skip trial execution and buffer snapshots while
           reproducing the cold run's choices; [Cache.disabled] = off *)
+  racecheck : Racecheck.t option;
+      (** dynamic shared-memory race detector attached to the simulator
+          for the whole run; [None] (the default) costs nothing *)
 }
 
 let default_config target =
@@ -60,6 +63,7 @@ let default_config target =
     seed = 0x5eed;
     tracer = Tracer.disabled;
     cache = Cache.disabled;
+    racecheck = None;
   }
 
 type state = {
@@ -85,7 +89,10 @@ type state = {
 let create config =
   {
     config;
-    machine = Exec.create_machine config.target;
+    machine =
+      (let m = Exec.create_machine config.target in
+       m.Exec.racecheck <- config.racecheck;
+       m);
     env = Exec.env_create ();
     records = [];
     composite = 0.;

@@ -44,6 +44,9 @@ type config = {
           so a warm run skips trial execution and buffer snapshots
           entirely while reproducing the cold run's choices exactly;
           [Cache.disabled] (the default) = off *)
+  racecheck : Pgpu_gpusim.Racecheck.t option;
+      (** dynamic shared-memory race detector attached to the simulator
+          for the whole run; [None] (the default) costs nothing *)
 }
 
 val default_config : Descriptor.t -> config

@@ -24,6 +24,7 @@ module Json = Pgpu_trace.Json
 module Cache = Pgpu_cache.Cache
 module Codec = Pgpu_cache.Codec
 module Util = Pgpu_support.Util
+module Analysis = Pgpu_analysis
 
 type decision =
   | Kept
@@ -31,6 +32,9 @@ type decision =
   | Rejected_shmem of int  (** bytes demanded *)
   | Rejected_spill of int  (** new spills *)
   | Rejected_occupancy of string
+  | Rejected_racy of string
+      (** the static checker proved a shared-memory race or barrier
+          divergence the coarsening would ship *)
   | Rejected_duplicate of string  (** structurally equal to an already-kept alternative *)
 
 type candidate = {
@@ -46,6 +50,7 @@ let pp_decision ppf = function
   | Rejected_shmem b -> Fmt.pf ppf "rejected: %d B of shared memory" b
   | Rejected_spill n -> Fmt.pf ppf "rejected: %d new spills" n
   | Rejected_occupancy m -> Fmt.pf ppf "rejected: %s" m
+  | Rejected_racy m -> Fmt.pf ppf "rejected racy: %s" m
   | Rejected_duplicate d -> Fmt.pf ppf "duplicate of %s" d
 
 (** Scalar cleanup run on every replica after coarsening. *)
@@ -193,7 +198,23 @@ let expand (t : Descriptor.t) ?(tracer = Tracer.disabled) ?(cache = Cache.disabl
           in
           match occ_ok with
           | Error m -> ({ spec; desc; decision = Rejected_occupancy m; stats = Some stats }, None)
-          | Ok () -> ({ spec; desc; decision = Kept; stats = Some stats }, Some coarsened)
+          | Ok () -> (
+              (* last gate: the static race/barrier checker. Only
+                 proven races ([Error] severity) reject a candidate;
+                 warnings are conservative and would prune legal code. *)
+              match
+                Analysis.Report.errors
+                  (Analysis.Check.check_region ~const_of ~kernel:desc coarsened)
+              with
+              | d :: _ ->
+                  ( {
+                      spec;
+                      desc;
+                      decision = Rejected_racy d.Analysis.Report.message;
+                      stats = Some stats;
+                    },
+                    None )
+              | [] -> ({ spec; desc; decision = Kept; stats = Some stats }, Some coarsened))
         end)
   in
   let candidates =

@@ -16,6 +16,9 @@ type decision =
   | Rejected_shmem of int  (** bytes demanded *)
   | Rejected_spill of int  (** new spills vs the baseline *)
   | Rejected_occupancy of string
+  | Rejected_racy of string
+      (** the static checker proved a shared-memory race or barrier
+          divergence in the coarsened replica *)
   | Rejected_duplicate of string
       (** structurally equal (up to renaming) to the already-kept
           alternative named by the payload *)

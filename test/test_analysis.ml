@@ -1,0 +1,330 @@
+(** Tests for the shared-memory race & barrier-safety analyzer.
+
+    The static checker must stay silent on every stock kernel and
+    benchmark (zero false positives at the diagnostic level we gate
+    on), and must flag 100% of mechanically injected race mutants:
+    dropping any barrier, or collapsing any shared-store index to a
+    constant, makes a race the checker has to prove. A qcheck
+    generator drives the same mutators with random picks. The dynamic
+    detector is exercised on a racy kernel (conflicts reported) and a
+    race-free one (silent, and bit-identical to an uninstrumented
+    run). Finally, candidates rejected as racy must never materialize
+    as [Alternatives] regions, so TDO can never trial them. *)
+
+module Check = Pgpu_analysis.Check
+module Report = Pgpu_analysis.Report
+module Racecheck = Pgpu_gpusim.Racecheck
+module Frontend = Pgpu_frontend.Frontend
+module Runtime = Pgpu_runtime.Runtime
+module Exec = Pgpu_gpusim.Exec
+module Descriptor = Pgpu_target.Descriptor
+module Pipeline = Pgpu_transforms.Pipeline
+module Alternatives = Pgpu_transforms.Alternatives
+module Bench_def = Pgpu_rodinia.Bench_def
+open Pgpu_ir
+
+(* ------------------------------------------------------------------ *)
+(* IR mutators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Bottom-up rewrite: children first, then [f] on the instruction
+    itself; [f] returns a replacement sequence (possibly empty). *)
+let rec map_block f blk = List.concat_map (map_instr f) blk
+
+and map_instr f i =
+  let i =
+    match i with
+    | Instr.If { cond; results; then_; else_ } ->
+        Instr.If { cond; results; then_ = map_block f then_; else_ = map_block f else_ }
+    | Instr.For { iv; lb; ub; step; iter_args; inits; results; body } ->
+        Instr.For { iv; lb; ub; step; iter_args; inits; results; body = map_block f body }
+    | Instr.While { iter_args; inits; results; body } ->
+        Instr.While { iter_args; inits; results; body = map_block f body }
+    | Instr.Parallel { pid; level; ivs; ubs; body } ->
+        Instr.Parallel { pid; level; ivs; ubs; body = map_block f body }
+    | Instr.Gpu_wrapper { wid; name; body } ->
+        Instr.Gpu_wrapper { wid; name; body = map_block f body }
+    | Instr.Alternatives { aid; descs; regions } ->
+        Instr.Alternatives { aid; descs; regions = List.map (map_block f) regions }
+    | i -> i
+  in
+  f i
+
+let map_modul f (m : Instr.modul) =
+  {
+    Instr.funcs =
+      List.map (fun fn -> { fn with Instr.body = map_block f fn.Instr.body }) m.Instr.funcs;
+  }
+
+(** ids of every statically allocated shared buffer in [m] *)
+let shared_ids (m : Instr.modul) =
+  let ids = Hashtbl.create 8 in
+  let f i =
+    (match i with
+    | Instr.Alloc_shared { res; _ } -> Hashtbl.replace ids res.Value.id ()
+    | _ -> ());
+    [ i ]
+  in
+  ignore (map_modul f m);
+  ids
+
+let count_barriers m =
+  let n = ref 0 in
+  let f i =
+    (match i with Instr.Barrier _ -> incr n | _ -> ());
+    [ i ]
+  in
+  ignore (map_modul f m);
+  !n
+
+let count_shared_stores m =
+  let ids = shared_ids m in
+  let n = ref 0 in
+  let f i =
+    (match i with
+    | Instr.Store { mem; _ } when Hashtbl.mem ids mem.Value.id -> incr n
+    | _ -> ());
+    [ i ]
+  in
+  ignore (map_modul f m);
+  !n
+
+(** Mutant: delete the [k]-th barrier of the module. *)
+let drop_barrier k m =
+  let n = ref 0 in
+  map_modul
+    (fun i ->
+      match i with
+      | Instr.Barrier _ ->
+          let j = !n in
+          incr n;
+          if j = k then [] else [ i ]
+      | i -> [ i ])
+    m
+
+(** Mutant: collapse the index of the [k]-th shared-memory store to the
+    constant 0, so every thread of the block hits the same element. *)
+let zero_shared_store_idx k m =
+  let ids = shared_ids m in
+  let n = ref 0 in
+  map_modul
+    (fun i ->
+      match i with
+      | Instr.Store { mem; idx = _; v } when Hashtbl.mem ids mem.Value.id ->
+          let j = !n in
+          incr n;
+          if j = k then begin
+            let z = Value.fresh ~hint:"mut" Types.I32 in
+            [ Instr.Let (z, Instr.Const (Instr.Ci 0)); Instr.Store { mem; idx = z; v } ]
+          end
+          else [ i ]
+      | i -> [ i ])
+    m
+
+(* ------------------------------------------------------------------ *)
+(* Static checker: stock kernels are clean                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_clean name m () =
+  match Check.check_modul m with
+  | [] -> ()
+  | d :: _ -> Alcotest.failf "%s: unexpected diagnostic: %a" name Report.pp_diagnostic d
+
+let benches = Pgpu_rodinia.Registry.all @ Pgpu_hecbench.Registry.all
+
+let bench_clean_cases =
+  List.map
+    (fun (b : Bench_def.t) ->
+      Alcotest.test_case (b.Bench_def.name ^ " is diagnostic-free") `Quick (fun () ->
+          check_clean b.Bench_def.name (Frontend.compile_string b.Bench_def.source) ()))
+    benches
+
+(* ------------------------------------------------------------------ *)
+(* Static checker: every injected mutant is flagged                    *)
+(* ------------------------------------------------------------------ *)
+
+let stock = [ ("reduce", Kernels.reduce_module); ("tile_avg", Kernels.tile_avg_module) ]
+
+let flags_mutant what mutant =
+  match Report.errors (Check.check_modul mutant) with
+  | [] -> Alcotest.failf "%s: mutant not flagged" what
+  | _ -> ()
+
+let test_all_mutants () =
+  List.iter
+    (fun (name, mk) ->
+      let m = mk () in
+      let nb = count_barriers m and ns = count_shared_stores m in
+      Alcotest.(check bool) (name ^ " has barriers") true (nb > 0);
+      Alcotest.(check bool) (name ^ " has shared stores") true (ns > 0);
+      for k = 0 to nb - 1 do
+        flags_mutant (Fmt.str "%s: drop barrier %d" name k) (drop_barrier k (mk ()))
+      done;
+      for k = 0 to ns - 1 do
+        flags_mutant
+          (Fmt.str "%s: zero shared-store index %d" name k)
+          (zero_shared_store_idx k (mk ()))
+      done)
+    stock
+
+let prop_mutants_flagged =
+  QCheck.Test.make ~name:"random mutants of race-free kernels are flagged" ~count:40
+    QCheck.(triple (int_range 0 1) (int_range 0 1) small_nat)
+    (fun (which, kind, k) ->
+      let _, mk = List.nth stock which in
+      let m = mk () in
+      let mutant =
+        if kind = 0 then drop_barrier (k mod count_barriers m) m
+        else zero_shared_store_idx (k mod count_shared_stores m) m
+      in
+      Report.errors (Check.check_modul mutant) <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Racy candidates never reach TDO                                     *)
+(* ------------------------------------------------------------------ *)
+
+let racy_src =
+  {|
+__global__ void blur(float* in, float* out, int n) {
+  __shared__ float tile[256];
+  int t = threadIdx.x;
+  int i = blockIdx.x * 256 + t;
+  tile[t] = in[i];
+  out[i] = 0.5f * tile[t] + 0.5f * tile[255 - t];
+}
+
+float* main(int nb) {
+  int n = nb * 256;
+  float* hout = (float*)malloc(n * sizeof(float));
+  float* din; float* dout;
+  cudaMalloc((void**)&din, n * sizeof(float));
+  cudaMalloc((void**)&dout, n * sizeof(float));
+  float* hin = (float*)malloc(n * sizeof(float));
+  fill_rand(hin, 3);
+  cudaMemcpy(din, hin, n * sizeof(float), cudaMemcpyHostToDevice);
+  blur<<<nb, 256>>>(din, dout, n);
+  cudaMemcpy(hout, dout, n * sizeof(float), cudaMemcpyDeviceToHost);
+  return hout;
+}
+|}
+
+let count_alternatives m =
+  let n = ref 0 in
+  let f i =
+    (match i with Instr.Alternatives _ -> incr n | _ -> ());
+    [ i ]
+  in
+  ignore (map_modul f m);
+  !n
+
+let test_racy_never_reaches_tdo () =
+  let m = Frontend.compile_string racy_src in
+  let opts =
+    {
+      (Pipeline.default_options Descriptor.a100) with
+      Pipeline.coarsen_specs = Pipeline.specs_of_totals [ (1, 1); (2, 1); (1, 2) ];
+    }
+  in
+  let m', report = Pipeline.compile opts m in
+  let candidates = List.concat_map (fun kr -> kr.Pipeline.candidates) report.Pipeline.kernels in
+  Alcotest.(check bool) "candidates were expanded" true (candidates <> []);
+  List.iter
+    (fun (c : Alternatives.candidate) ->
+      match c.Alternatives.decision with
+      | Alternatives.Rejected_racy _ -> ()
+      | d ->
+          Alcotest.failf "candidate [%s] of a racy kernel was %a" c.Alternatives.desc
+            Alternatives.pp_decision d)
+    candidates;
+  (* with every candidate rejected, no Alternatives region exists for
+     TDO to trial: the runtime falls back to the cleaned baseline *)
+  Alcotest.(check int) "no alternatives region" 0 (count_alternatives m');
+  let config = { (Runtime.default_config Descriptor.a100) with Runtime.tune = true } in
+  let results, _ = Runtime.run config m' [ Exec.UI 2 ] in
+  Alcotest.(check int) "racy module still runs" 1 (List.length results)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic race detector                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_with rc m args =
+  let config = { (Runtime.default_config Descriptor.a100) with Runtime.racecheck = rc } in
+  let results, st = Runtime.run config m (List.map (fun n -> Exec.UI n) args) in
+  (List.map Runtime.buffer_contents results, Runtime.composite_seconds st)
+
+let test_dynamic_flags_racy () =
+  let m = Frontend.compile_string racy_src in
+  let m', _ = Pipeline.compile (Pipeline.default_options Descriptor.a100) m in
+  let rc = Racecheck.create () in
+  ignore (run_with (Some rc) m' [ 2 ]);
+  Alcotest.(check bool) "conflicts detected" true (Racecheck.total_conflicts rc > 0);
+  List.iter
+    (fun (c : Racecheck.conflict) ->
+      Alcotest.(check bool) "distinct lanes" true (c.Racecheck.lane1 <> c.Racecheck.lane2))
+    (Racecheck.conflicts rc);
+  let diags = Check.diagnostics_of_racecheck rc in
+  Alcotest.(check bool) "diagnostics are errors" true (Report.has_errors diags)
+
+let test_dynamic_silent_and_free_on_racefree () =
+  let m = Kernels.reduce_module () in
+  let m', _ = Pipeline.compile (Pipeline.default_options Descriptor.a100) m in
+  let out_plain, t_plain = run_with None m' [ 6 ] in
+  let rc = Racecheck.create () in
+  let out_checked, t_checked = run_with (Some rc) m' [ 6 ] in
+  Alcotest.(check int) "no conflicts" 0 (Racecheck.total_conflicts rc);
+  Alcotest.(check (list (list (float 0.)))) "same outputs" out_plain out_checked;
+  Alcotest.(check (float 0.)) "same composite time" t_plain t_checked
+
+(* ------------------------------------------------------------------ *)
+(* Golden text report on the racy fixture                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden_report () =
+  (* cwd is _build/default/test under `dune runtest`, the workspace
+     root under `dune exec test/main.exe` *)
+  let path =
+    List.find Sys.file_exists [ "../examples/racy.cu"; "examples/racy.cu" ]
+  in
+  let src = read_file path in
+  let m = Frontend.compile_string src in
+  let m', _ = Pipeline.compile (Pipeline.default_options Descriptor.a100) m in
+  let report = Report.to_string (Report.sort (Check.check_modul m')) in
+  let expected =
+    "error[barrier-divergence] bad_reduce: barrier under thread-dependent control flow: \
+     threads of one block may not all reach it\n\
+     error[shared-race] blur: possible read-write race on shared buffer tile between 'load \
+     tile[-t + 255]' and 'store tile[t]' (barrier epoch 0): distinct threads can touch the \
+     same element\n\
+     2 error(s), 0 warning(s)\n"
+  in
+  Alcotest.(check string) "pgpu check report" expected report
+
+let suite =
+  [
+    ( "analysis",
+      [
+        Alcotest.test_case "stock reduce is diagnostic-free" `Quick
+          (check_clean "reduce" (Kernels.reduce_module ()));
+        Alcotest.test_case "stock tile_avg is diagnostic-free" `Quick
+          (check_clean "tile_avg" (Kernels.tile_avg_module ()));
+        Alcotest.test_case "stock vecadd is diagnostic-free" `Quick
+          (check_clean "vecadd" (Kernels.vecadd_module ()));
+        Alcotest.test_case "every injected mutant is flagged" `Quick test_all_mutants;
+        QCheck_alcotest.to_alcotest prop_mutants_flagged;
+        Alcotest.test_case "racy candidates never reach TDO" `Quick
+          test_racy_never_reaches_tdo;
+        Alcotest.test_case "dynamic detector flags the racy kernel" `Quick
+          test_dynamic_flags_racy;
+        Alcotest.test_case "dynamic detector silent and free on race-free" `Quick
+          test_dynamic_silent_and_free_on_racefree;
+        Alcotest.test_case "golden text report for examples/racy.cu" `Quick
+          test_golden_report;
+      ]
+      @ bench_clean_cases );
+  ]

@@ -64,7 +64,8 @@ let check_bench (t : Descriptor.t) (b : Bench_def.t) () =
                   b.Bench_def.name kr.Pipeline.kernel c.Alternatives.desc bytes
                   t.Descriptor.max_shmem_per_block
           | Alternatives.Rejected_illegal _ | Alternatives.Rejected_spill _
-          | Alternatives.Rejected_occupancy _ | Alternatives.Rejected_duplicate _ ->
+          | Alternatives.Rejected_occupancy _ | Alternatives.Rejected_racy _
+          | Alternatives.Rejected_duplicate _ ->
               ())
         kr.Pipeline.candidates)
     report.Pipeline.kernels
