@@ -3,7 +3,7 @@
     micro-benchmarks of the compiler itself.
 
     Usage: [main.exe [table1|fig13|fig14|fig15|table2|fig16|fig17|
-    hipify|vii-b|micro|ablation|cachebench|all ...]]; no arguments = all. *)
+    hipify|cpu|vii-b|micro|ablation|cachebench|all ...]]; no arguments = all. *)
 
 module E = Pgpu_core.Experiments
 module P = Pgpu_core.Polygeist_gpu
@@ -76,6 +76,11 @@ let hipify () =
 let table1 () =
   heading "Table I";
   E.table1 ()
+
+let cpu () =
+  heading "CPU retargeting (barrier-fission backend)";
+  let benches = if quick then benches () else P.Rodinia.all @ P.Hecbench.all in
+  write_metrics "cpu" (E.json_of_cpu_compare (E.cpu_compare ~benches ~jobs:2 ()))
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md                   *)
@@ -222,6 +227,7 @@ let all () =
   fig16 ();
   fig17 ();
   hipify ();
+  cpu ();
   ablation ();
   cachebench ();
   micro ()
@@ -240,6 +246,7 @@ let () =
       ("fig16", fig16);
       ("fig17", fig17);
       ("hipify", hipify);
+      ("cpu", cpu);
       ("ablation", ablation);
       ("cachebench", cachebench);
       ("micro", micro);

@@ -60,7 +60,10 @@ let target_arg =
     value
     & opt (enum choices) Descriptor.a100
     & info [ "t"; "target" ] ~docv:"TARGET"
-        ~doc:"Target GPU: sm_80 (A100), sm_86 (A4000), gfx1030 (RX6800), gfx90a (MI210).")
+        ~doc:
+          "Target: sm_80 (A100), sm_86 (A4000), gfx1030 (RX6800), gfx90a (MI210), or a CPU \
+           (cpu, epyc7763). CPU targets run kernels through barrier fission and \
+           domain-parallel loop-nest execution (see $(b,pgpu targets)).")
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-CUDA source file.")
@@ -139,7 +142,9 @@ let jobs_arg =
   Arg.(
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:"Domains used for parallel candidate expansion (default 1: sequential).")
+        ~doc:
+          "Domains used for parallel candidate expansion and, on CPU targets, for \
+           domain-parallel block execution (default 1: sequential).")
 
 let make_cache no_cache dir = if no_cache then P.Cache.disabled else P.Cache.create ?dir ()
 
@@ -237,13 +242,13 @@ let run_cmd =
       P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tracer ~cache ~jobs ~target
         ~source:(read_file file) ()
     in
-    let r = P.run ~tune ~fixed_choice:choice ~tracer ~cache c ~args in
+    let r = P.run ~tune ~fixed_choice:choice ~jobs ~tracer ~cache c ~args in
     write_cache_stats cache cache_stats;
     print_run_summary r;
     0
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Compile and execute a mini-CUDA file on the simulated GPU.")
+    (Cmd.info "run" ~doc:"Compile and execute a mini-CUDA file on a simulated GPU or CPU.")
     Term.(
       const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
       $ choice_arg $ args_arg $ trace_arg $ metrics_arg $ cache_dir_arg $ no_cache_arg
@@ -377,8 +382,37 @@ let check_cmd =
     in
     let c = P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~target ~source () in
     (* static diagnostics over everything the compile shipped (the
-       baseline and every kept alternative) *)
-    let static_diags = P.Check.check_modul c.P.modul in
+       baseline and every kept alternative). CPU targets analyze the
+       barrier-fissioned form of each kernel — the code that actually
+       executes — so barrier diagnostics eliminated by fission are not
+       reported; kernels fission refuses keep their original bodies
+       (and diagnostics) and are flagged, since they fall back to the
+       lockstep interpreter. *)
+    let static_diags =
+      if target.Descriptor.kind = Descriptor.Cpu then begin
+        let lowered, outcomes = P.cpu_lower_modul c.P.modul in
+        let refused =
+          List.filter_map
+            (fun (name, outcome) ->
+              match outcome with
+              | Ok (_ : P.Fission.stats) -> None
+              | Error msg ->
+                  Some
+                    {
+                      P.Report.severity = P.Report.Warning;
+                      kind = "cpu-fission";
+                      kernel = name;
+                      message =
+                        "barrier fission refused (" ^ msg
+                        ^ "): the kernel executes on the CPU via the lockstep \
+                           interpreter";
+                    })
+            outcomes
+        in
+        P.Check.check_modul lowered @ refused
+      end
+      else P.Check.check_modul c.P.modul
+    in
     (* candidates the race gate pruned during expansion never reach the
        module; surface them as warnings so the pruning is visible *)
     let pruned =
@@ -467,6 +501,64 @@ let hipify_cmd =
        ~doc:"Source-to-source CUDA-to-HIP translation (the baseline of Section VII-D).")
     Term.(const run $ setup_logs_t $ file_arg)
 
+(* --- targets --- *)
+
+let targets_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the target table as JSON.")
+  in
+  let json_of_target (t : Descriptor.t) =
+    let module Json = Pgpu_trace.Json in
+    Json.Obj
+      [
+        ("name", Json.Str t.Descriptor.name);
+        ("arch", Json.Str t.Descriptor.arch);
+        ("vendor", Json.Str (Fmt.str "%a" Descriptor.pp_vendor t.Descriptor.vendor));
+        ("kind", Json.Str (match t.Descriptor.kind with Descriptor.Gpu -> "gpu" | Descriptor.Cpu -> "cpu"));
+        ("sm_count", Json.Int t.Descriptor.sm_count);
+        ("warp_size", Json.Int t.Descriptor.warp_size);
+        ("simd_width", Json.Int t.Descriptor.simd_width);
+        ("clock_ghz", Json.Float t.Descriptor.clock_ghz);
+        ("issue_per_cycle", Json.Int t.Descriptor.issue_per_cycle);
+        ("fp32_lanes_per_sm", Json.Int t.Descriptor.fp32_lanes_per_sm);
+        ("fp64_lanes_per_sm", Json.Int t.Descriptor.fp64_lanes_per_sm);
+        ("fp32_tflops", Json.Float (Descriptor.fp32_tflops t));
+        ("fp64_tflops", Json.Float (Descriptor.fp64_tflops t));
+        ("max_threads_per_block", Json.Int t.Descriptor.max_threads_per_block);
+        ("max_threads_per_sm", Json.Int t.Descriptor.max_threads_per_sm);
+        ("regs_per_sm", Json.Int t.Descriptor.regs_per_sm);
+        ("shmem_per_sm", Json.Int t.Descriptor.shmem_per_sm);
+        ("l1_bytes_per_sm", Json.Int t.Descriptor.l1_bytes_per_sm);
+        ("l2_bytes", Json.Int t.Descriptor.l2_bytes);
+        ("l3_bytes", Json.Int t.Descriptor.l3_bytes);
+        ("l3_bandwidth_gbs", Json.Float t.Descriptor.l3_bandwidth_gbs);
+        ("l2_bandwidth_gbs", Json.Float t.Descriptor.l2_bandwidth_gbs);
+        ("mem_bandwidth_gbs", Json.Float t.Descriptor.mem_bandwidth_gbs);
+      ]
+  in
+  let run () as_json =
+    if as_json then
+      Fmt.pr "%s@."
+        (P.Trace.Json.to_string_pretty
+           (P.Trace.Json.Obj
+              [ ("targets", P.Trace.Json.List (List.map json_of_target Descriptor.all)) ]))
+    else begin
+      List.iter (fun t -> Fmt.pr "%a@." Descriptor.pp t) Descriptor.all;
+      Fmt.pr "@.Table I (GPU targets):@.";
+      let header, rows = Descriptor.table1_rows () in
+      let pp_row r = Fmt.pr "  %a@." Fmt.(list ~sep:(any " | ") (fmt "%-10s")) r in
+      pp_row header;
+      List.iter pp_row rows
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "targets"
+       ~doc:
+         "List the simulated execution targets — GPUs and CPUs — with their \
+          Table-I-style machine parameters.")
+    Term.(const run $ setup_logs_t $ json_arg)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -493,6 +585,6 @@ let main =
        ~doc:
          "Retargeting and respecializing GPU workloads for performance portability \
           (CGO 2024 reproduction on simulated GPUs).")
-    [ compile_cmd; run_cmd; bench_cmd; check_cmd; profile_cmd; hipify_cmd; list_cmd ]
+    [ compile_cmd; run_cmd; bench_cmd; check_cmd; profile_cmd; hipify_cmd; targets_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

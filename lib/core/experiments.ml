@@ -377,7 +377,7 @@ let fig16_target ?(benches = Rodinia.all) (target : Descriptor.t) : composite_en
     (fun (b : Bench_def.t) ->
       let source =
         match target.Descriptor.vendor with
-        | Descriptor.Nvidia -> b.Bench_def.source
+        | Descriptor.Nvidia | Descriptor.Generic -> b.Bench_def.source
         | Descriptor.Amd ->
             (* the baseline route goes through hipify; the IR route
                compiles the CUDA source unchanged. Both parse to the
@@ -399,7 +399,9 @@ let fig16_target ?(benches = Rodinia.all) (target : Descriptor.t) : composite_en
 
 let fig16_print_target target (data : composite_entry list) =
   let vendor_baseline =
-    match target.Descriptor.vendor with Descriptor.Nvidia -> "clang" | Descriptor.Amd -> "hipify+clang"
+    match target.Descriptor.vendor with
+    | Descriptor.Nvidia | Descriptor.Generic -> "clang"
+    | Descriptor.Amd -> "hipify+clang"
   in
   fpr "-- %a (baseline: %s) --@." Descriptor.pp target vendor_baseline;
   let rows =
@@ -458,6 +460,81 @@ let fig17 ?(benches = Rodinia.all) () =
     ((gm (fun n a -> n.clang /. a.pg_opt) -. 1.) *. 100.)
     ((gm (fun n a -> n.pg_opt /. a.pg_opt) -. 1.) *. 100.);
   (nv, amd)
+
+(* ------------------------------------------------------------------ *)
+(* CPU retargeting: barrier-fission backend vs the GPU simulator       *)
+(* ------------------------------------------------------------------ *)
+
+type cpu_entry = {
+  cpu_bench : string;
+  gpu_seconds : float;  (** A100 composite, untuned *)
+  cpu_seconds : float;  (** desktop CPU composite, untuned *)
+  cpu_tuned_seconds : float;  (** desktop CPU composite after TDO over coarsenings *)
+  epyc_seconds : float;  (** 64-core EPYC composite, untuned *)
+  bit_identical : bool;  (** functional outputs match the A100 run bitwise *)
+}
+
+(** Modest TDO sweep for the CPU columns: coarsening factors double as
+    unroll/interleave factors on the CPU, so thread-total coarsening is
+    the interesting axis. *)
+let cpu_specs = specs_of_totals [ (1, 1); (1, 2); (1, 4); (2, 1); (2, 2) ]
+
+let cpu_compare_data ?(benches = Rodinia.all @ Hecbench.all) ?(jobs = 2) () : cpu_entry list =
+  List.map
+    (fun (b : Bench_def.t) ->
+      let gpu = run_bench ~target:Descriptor.a100 b in
+      let cpu = run_rodinia ~perf:true ~jobs ~target:Descriptor.cpu b in
+      let cpu_tuned =
+        run_rodinia ~perf:true ~jobs ~specs:cpu_specs ~tune:true ~target:Descriptor.cpu b
+      in
+      let epyc = run_rodinia ~perf:true ~jobs ~target:Descriptor.epyc7763 b in
+      (* exactness: full functional runs at the default (test-scale)
+         arguments, compared bitwise against the A100 execution *)
+      let bits (r : run_result) =
+        List.map (List.map Int64.bits_of_float) r.outputs
+      in
+      let f_gpu = run_rodinia ~perf:false ~target:Descriptor.a100 b in
+      let f_cpu = run_rodinia ~perf:false ~jobs ~target:Descriptor.cpu b in
+      {
+        cpu_bench = b.Bench_def.name;
+        gpu_seconds = gpu.composite_seconds;
+        cpu_seconds = cpu.composite_seconds;
+        cpu_tuned_seconds = cpu_tuned.composite_seconds;
+        epyc_seconds = epyc.composite_seconds;
+        bit_identical = bits f_gpu = bits f_cpu;
+      })
+    benches
+
+let cpu_compare ?benches ?jobs () =
+  fpr "== Retargeting to CPU: barrier-fission backend vs the A100 simulator ==@.";
+  let data = cpu_compare_data ?benches ?jobs () in
+  let rows =
+    List.map
+      (fun e ->
+        [
+          e.cpu_bench;
+          Fmt.str "%.5f" e.gpu_seconds;
+          Fmt.str "%.5f" e.cpu_seconds;
+          Fmt.str "%.5f" e.cpu_tuned_seconds;
+          Fmt.str "%.5f" e.epyc_seconds;
+          Fmt.str "%.2f" (e.cpu_seconds /. e.cpu_tuned_seconds);
+          (if e.bit_identical then "yes" else "NO");
+        ])
+      data
+  in
+  print_table
+    [ "benchmark"; "a100 (s)"; "cpu (s)"; "cpu tuned (s)"; "epyc7763 (s)"; "tune x"; "bit-identical" ]
+    rows;
+  let slowdown = Stats.geomean (List.map (fun e -> e.cpu_seconds /. e.gpu_seconds) data) in
+  let tune_gain =
+    Stats.geomean (List.map (fun e -> e.cpu_seconds /. e.cpu_tuned_seconds) data)
+  in
+  fpr "geomean: cpu/a100 slowdown %.1fx, TDO gain on cpu %.1f%%; %d/%d bit-identical@.@."
+    slowdown
+    ((tune_gain -. 1.) *. 100.)
+    (List.length (List.filter (fun e -> e.bit_identical) data))
+    (List.length data);
+  data
 
 (* ------------------------------------------------------------------ *)
 (* Hipify ease-of-use comparison (Section VII-D1)                      *)
@@ -562,4 +639,19 @@ let json_of_fig16 (data : (Descriptor.t * composite_entry list) list) : Json.t =
        (fun ((t : Descriptor.t), entries) ->
          Json.Obj
            [ ("target", Json.Str t.Descriptor.name); ("benchmarks", json_of_composite entries) ])
+       data)
+
+let json_of_cpu_compare (data : cpu_entry list) : Json.t =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("benchmark", Json.Str e.cpu_bench);
+             ("a100_seconds", Json.Float e.gpu_seconds);
+             ("cpu_seconds", Json.Float e.cpu_seconds);
+             ("cpu_tuned_seconds", Json.Float e.cpu_tuned_seconds);
+             ("epyc7763_seconds", Json.Float e.epyc_seconds);
+             ("bit_identical", Json.Bool e.bit_identical);
+           ])
        data)

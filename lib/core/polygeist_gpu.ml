@@ -29,6 +29,9 @@ module Counters = Pgpu_gpusim.Counters
 module Timing = Pgpu_gpusim.Timing
 module Hipify = Pgpu_retarget.Hipify
 module Retarget = Pgpu_retarget.Retarget
+module Fission = Pgpu_transforms.Fission
+module Cpu_exec = Pgpu_cpu.Cpu_exec
+module Cpu_timing = Pgpu_cpu.Cpu_timing
 module Rodinia = Pgpu_rodinia.Registry
 module Hecbench = Pgpu_hecbench.Registry
 module Bench_def = Pgpu_rodinia.Bench_def
@@ -41,11 +44,54 @@ module Check = Pgpu_analysis.Check
 module Report = Pgpu_analysis.Report
 module Racecheck = Pgpu_gpusim.Racecheck
 
+module Instr = Pgpu_ir.Instr
+
 type compiled = {
   target : Descriptor.t;
   modul : Pgpu_ir.Instr.modul;
   report : Pipeline.report;
 }
+
+(** Barrier-fission every kernel wrapper of a module, as the CPU
+    backend will at launch time. Returns the lowered module and the
+    per-kernel outcome: [Ok stats] when fission succeeded (the wrapper
+    body was replaced), [Error reason] when it was refused (the
+    wrapper is kept as-is and executes via the lockstep interpreter).
+    Static checking a CPU run against the lowered module keeps
+    barrier diagnostics scoped to the code that actually executes. *)
+let cpu_lower_modul (m : Pgpu_ir.Instr.modul) :
+    Pgpu_ir.Instr.modul * (string * (Fission.stats, string) result) list =
+  let outcomes = ref [] in
+  let rec walk ~const_of_ext (b : Instr.block) : Instr.block =
+    let walk = walk ~const_of_ext in
+    List.map
+      (fun i ->
+        match i with
+        | Instr.Gpu_wrapper ({ name; body; _ } as w) -> (
+            match Fission.lower_region ~const_of_ext body with
+            | Ok l ->
+                outcomes := (name, Ok l.Fission.stats) :: !outcomes;
+                Instr.Gpu_wrapper { w with body = l.Fission.region }
+            | Error msg ->
+                outcomes := (name, Error msg) :: !outcomes;
+                i)
+        | Instr.If ({ then_; else_; _ } as c) ->
+            Instr.If { c with then_ = walk then_; else_ = walk else_ }
+        | Instr.For ({ body; _ } as f) -> Instr.For { f with body = walk body }
+        | Instr.While ({ body; _ } as w) -> Instr.While { w with body = walk body }
+        | _ -> i)
+      b
+  in
+  let funcs =
+    List.map
+      (fun f ->
+        (* thread extents are typically host constants of the enclosing
+           function, so resolve them at function scope *)
+        let const_of_ext = Fission.const_tbl f.Instr.body in
+        { f with Instr.body = walk ~const_of_ext f.Instr.body })
+      m.Instr.funcs
+  in
+  ({ Instr.funcs }, List.rev !outcomes)
 
 (** Coarsening specs from (block_total, thread_total) pairs, balanced
     per kernel over its usable dimensions. *)
@@ -91,9 +137,10 @@ type run_result = {
     @param tune enable timing-driven selection of alternatives
     @param fixed_choice pin the alternatives region when not tuning
     @param functional execute every block (exact outputs); disable for
-    timing-only sweeps on large grids *)
+    timing-only sweeps on large grids
+    @param jobs host domains for the CPU backend's block execution *)
 let run ?(tune = false) ?(fixed_choice = 0) ?(functional = true) ?(sample_blocks = 24)
-    ?(tracer = Tracer.disabled) ?(cache = Cache.disabled) ?racecheck (c : compiled)
+    ?(jobs = 1) ?(tracer = Tracer.disabled) ?(cache = Cache.disabled) ?racecheck (c : compiled)
     ~(args : int list) : run_result =
   let config =
     {
@@ -102,6 +149,7 @@ let run ?(tune = false) ?(fixed_choice = 0) ?(functional = true) ?(sample_blocks
       fixed_choice;
       functional;
       sample_blocks;
+      jobs;
       tracer;
       cache;
       racecheck;
@@ -144,7 +192,7 @@ let run_rodinia ?(verify = false) ?(optimize = true) ?(specs = []) ?(tune = spec
   (* evaluation-scale runs sample fewer blocks per launch: the grids
      are uniform enough that 12 representative blocks extrapolate *)
   let sample_blocks = if perf then 12 else 24 in
-  let r = run ~tune ~functional ~sample_blocks ~tracer ~cache c ~args in
+  let r = run ~tune ~functional ~sample_blocks ~jobs ~tracer ~cache c ~args in
   if verify then begin
     let expected = b.Bench_def.reference args in
     let got = List.hd r.outputs in

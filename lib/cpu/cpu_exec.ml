@@ -1,0 +1,187 @@
+(** Domain-parallel CPU execution of retargeted kernels.
+
+    A kernel region lowered by barrier fission contains only
+    barrier-free thread-level parallels, so each block can be
+    interpreted by one simulated core with no cross-thread
+    synchronization. The block grid is statically chunked across the
+    target's cores (one contiguous chunk per core), and the chunks are
+    interpreted concurrently on OCaml domains ([Util.parallel_map
+    ~jobs] bounds host parallelism; the simulated core count bounds
+    the chunking).
+
+    Each simulated core owns its performance state — an event-counter
+    record, a private L1 and a slice of the shared last-level cache,
+    and an address allocator for block-shared scratch — so cores never
+    contend on simulator state. Functional memory (the [Memory.buf]
+    contents) is shared between domains: race-free kernels write
+    disjoint elements, which OCaml arrays support without locking.
+    Counters are merged in core order after the join, keeping results
+    deterministic regardless of domain scheduling.
+
+    The per-block interpretation reuses the [Exec] lockstep
+    interpreter with [warp_size = 1]: after fission every epoch is
+    barrier-free, so executing its threads as one lockstep group is
+    observably identical to a sequential per-thread loop — while
+    letting the existing coalescing/cache instrumentation observe the
+    same per-element traffic a compiled CPU loop nest would issue. *)
+
+open Pgpu_ir
+module Descriptor = Pgpu_target.Descriptor
+open Pgpu_gpusim
+
+let src = Logs.Src.create "pgpu.cpu" ~doc:"CPU backend executor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Per-core simulator state                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** One simulated core: a single-L1 [Exec.machine] whose L2 is this
+    core's slice of the device's shared last-level capacity. *)
+let core_machine (t : Descriptor.t) : Exec.machine =
+  {
+    Exec.target = t;
+    alloc = Memory.allocator ();
+    l2 =
+      Cache.create
+        ~size_bytes:(max 4096 (t.Descriptor.l2_bytes / max 1 t.Descriptor.sm_count))
+        ~line_bytes:t.Descriptor.l1_line_bytes ~ways:16;
+    l1s =
+      [|
+        Cache.create ~size_bytes:t.Descriptor.l1_bytes_per_sm
+          ~line_bytes:t.Descriptor.l1_line_bytes ~ways:8;
+      |];
+    counters = Counters.create ();
+    next_sm = 0;
+    observed_threads = 1;
+    shared_as_global = false;
+    racecheck = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Static vectorization analysis                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Fraction of thread-level work the compiler's vectorizer would
+    cover, estimated statically: an epoch (thread-level parallel)
+    vectorizes when its body is straight-line — no [If]/[While]
+    anywhere inside, since divergent lanes defeat packed execution.
+    Epochs are weighted by their instruction counts; all epochs of a
+    kernel iterate the same thread set, so instruction count is the
+    right relative weight. Returns a fraction in [0, 1] (1 when the
+    region has no thread-level parallel at all). *)
+let vector_fraction (region : Instr.block) : float =
+  let total = ref 0 and vec = ref 0 in
+  let count b =
+    let n = ref 0 in
+    Instr.iter_deep (fun _ -> incr n) b;
+    !n
+  in
+  let divergent b =
+    let d = ref false in
+    Instr.iter_deep (fun i -> match i with Instr.If _ | Instr.While _ -> d := true | _ -> ()) b;
+    !d
+  in
+  Instr.iter_deep
+    (fun i ->
+      match i with
+      | Instr.Parallel { level = Instr.Threads; body; _ } ->
+          let n = count body in
+          total := !total + n;
+          if not (divergent body) then vec := !vec + n
+      | _ -> ())
+    region;
+  if !total = 0 then 1. else float_of_int !vec /. float_of_int !total
+
+(* ------------------------------------------------------------------ *)
+(* Grid launch                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type launch_result = {
+  result : Exec.launch_result;  (** counters merged across all cores *)
+  vector_fraction : float;  (** statically vectorizable share of thread work *)
+  cores_used : int;  (** simulated cores that received blocks *)
+}
+
+(** Launch the grid-level parallel [p] across the cores of [target].
+    [env] must bind every free value of the kernel region; it is
+    copied per core, so per-core binding of block indices never races.
+    [jobs] bounds concurrent OCaml domains (the simulated core count
+    bounds the work split). Raises [Exec.Device_error] on the same
+    malformed-IR conditions as the lockstep interpreter. *)
+let launch (target : Descriptor.t) ~(jobs : int) ~(mode : Exec.mode) ~(env : Exec.env)
+    (p : Instr.instr) : launch_result =
+  match p with
+  | Instr.Parallel { level = Instr.Blocks; ivs; ubs; body; _ } ->
+      let dims = List.map (fun u -> Exec.ui_of (Exec.lookup env u)) ubs in
+      let total = List.fold_left ( * ) 1 dims in
+      let block_dims = Exec.block_dims_of env body in
+      let vf = vector_fraction [ p ] in
+      let indices =
+        if total <= 0 then []
+        else
+          match mode with
+          | `All -> List.init total Fun.id
+          | `Sample k when total <= k -> List.init total Fun.id
+          | `Sample k ->
+              let k = max 1 k in
+              List.init k (fun j -> j * total / k)
+      in
+      let executed = List.length indices in
+      let ncores = max 1 (min target.Descriptor.sm_count executed) in
+      (* static chunking: core c takes the c-th contiguous run of
+         blocks, mirroring an OpenMP static schedule *)
+      let chunk = Pgpu_support.Util.ceil_div executed ncores in
+      let work =
+        List.init ncores (fun c ->
+            ( c,
+              List.filteri (fun j _ -> j / chunk = c) indices ))
+        |> List.filter (fun (_, blocks) -> blocks <> [])
+      in
+      let dx = match dims with d :: _ -> d | [] -> 1 in
+      let dy = match dims with _ :: d :: _ -> d | _ -> 1 in
+      let run_core (core, blocks) =
+        let m = core_machine target in
+        m.Exec.counters.Counters.launches <- 0.;
+        let cenv = Hashtbl.copy env in
+        let ctx =
+          { Exec.m; env = cenv; nlanes = 1; ws = target.Descriptor.warp_size; sm = 0 }
+        in
+        List.iter
+          (fun lb ->
+            let coords = [ lb mod dx; lb / dx mod dy; lb / (dx * dy) ] in
+            List.iteri (fun k (iv : Value.t) -> Exec.bind cenv iv (Exec.UI (List.nth coords k))) ivs;
+            ignore (Exec.exec_block ctx (Exec.full_mask ctx) body);
+            m.Exec.counters.Counters.blocks <- m.Exec.counters.Counters.blocks +. 1.)
+          blocks;
+        ignore core;
+        (m.Exec.counters, m.Exec.observed_threads)
+      in
+      let per_core = Pgpu_support.Util.parallel_map ~jobs run_core work in
+      let merged = Counters.create () in
+      merged.Counters.launches <- 1.;
+      let threads = ref (List.fold_left ( * ) 1 block_dims) in
+      List.iter
+        (fun (c, obs) ->
+          Counters.accumulate merged c;
+          if obs > !threads then threads := obs)
+        per_core;
+      if executed > 0 && executed < total then
+        Counters.scale merged (float_of_int total /. float_of_int executed);
+      Log.debug (fun k ->
+          k "cpu launch: %d block(s) on %d core(s), vec %.0f%%, %.3g instr(s)" total
+            (List.length work) (vf *. 100.) merged.Counters.warp_insts);
+      {
+        result =
+          {
+            Exec.nblocks = total;
+            threads_per_block = !threads;
+            grid_dims = dims;
+            block_dims;
+            counters = merged;
+          };
+        vector_fraction = vf;
+        cores_used = List.length work;
+      }
+  | _ -> raise (Exec.Device_error "cpu launch expects a blocks-level parallel")

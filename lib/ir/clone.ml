@@ -100,3 +100,66 @@ let block ?(rename = []) b =
   let subst = create_subst () in
   List.iter (fun (v, v') -> bind subst v v') rename;
   clone_block subst b
+
+(* Use-only substitution: rewrite uses per [rename] but keep every
+   def (and parallel id) of the block intact. *)
+let subst_expr lk = function
+  | Const c -> Const c
+  | Binop (op, a, b) -> Binop (op, lk a, lk b)
+  | Unop (op, a) -> Unop (op, lk a)
+  | Cmp (op, a, b) -> Cmp (op, lk a, lk b)
+  | Select (c, a, b) -> Select (lk c, lk a, lk b)
+  | Cast a -> Cast (lk a)
+  | Load { mem; idx } -> Load { mem = lk mem; idx = lk idx }
+
+let rec subst_instr lk i =
+  match i with
+  | Let (r, e) -> Let (r, subst_expr lk e)
+  | Store { mem; idx; v } -> Store { mem = lk mem; idx = lk idx; v = lk v }
+  | If { cond; results; then_; else_ } ->
+      If { cond = lk cond; results; then_ = subst_block lk then_; else_ = subst_block lk else_ }
+  | For { iv; lb; ub; step; iter_args; inits; results; body } ->
+      For
+        {
+          iv;
+          lb = lk lb;
+          ub = lk ub;
+          step = lk step;
+          iter_args;
+          inits = List.map lk inits;
+          results;
+          body = subst_block lk body;
+        }
+  | While { iter_args; inits; results; body } ->
+      While { iter_args; inits = List.map lk inits; results; body = subst_block lk body }
+  | Parallel { pid; level; ivs; ubs; body } ->
+      Parallel { pid; level; ivs; ubs = List.map lk ubs; body = subst_block lk body }
+  | Barrier _ -> i
+  | Alloc_shared _ -> i
+  | Alloc { res; space; elt; count } -> Alloc { res; space; elt; count = lk count }
+  | Free x -> Free (lk x)
+  | Memcpy { dst; src; count } -> Memcpy { dst = lk dst; src = lk src; count = lk count }
+  | Gpu_wrapper { wid; name; body } -> Gpu_wrapper { wid; name; body = subst_block lk body }
+  | Alternatives { aid; descs; regions } ->
+      Alternatives { aid; descs; regions = List.map (subst_block lk) regions }
+  | Intrinsic { results; name; args } -> Intrinsic { results; name; args = List.map lk args }
+  | Yield vs -> Yield (List.map lk vs)
+  | Yield_while (c, vs) -> Yield_while (lk c, List.map lk vs)
+  | Return vs -> Return (List.map lk vs)
+
+and subst_block lk b = List.map (subst_instr lk) b
+
+(** Rewrite uses of a block per [rename] *without* freshening any
+    defs: the block keeps its identity; only references to the given
+    outer values change. A renamed value that is shadowed by an inner
+    def of the same value is not distinguished — callers must only
+    rename values that the block does not re-define (the barrier
+    fission epochs satisfy this by construction). *)
+let substitute ~rename b =
+  if rename = [] then b
+  else begin
+    let tbl = Value.Tbl.create 16 in
+    List.iter (fun (v, v') -> Value.Tbl.replace tbl v v') rename;
+    let lk v = match Value.Tbl.find_opt tbl v with Some v' -> v' | None -> v in
+    subst_block lk b
+  end

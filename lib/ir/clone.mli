@@ -29,3 +29,9 @@ val clone_block : subst -> block -> block
 
 (** Clone a block with fresh defs; [rename] pre-seeds use rewriting. *)
 val block : ?rename:(Value.t * Value.t) list -> block -> block
+
+(** Rewrite uses of a block per [rename] *without* freshening any defs
+    or parallel ids: the block keeps its identity; only references to
+    the given outer values change. Callers must only rename values the
+    block does not re-define. *)
+val substitute : rename:(Value.t * Value.t) list -> block -> block

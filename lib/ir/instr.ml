@@ -177,6 +177,16 @@ let free_values block =
   go block;
   Value.Tbl.fold (fun v () acc -> v :: acc) free []
 
+(** Every value an instruction reads, including free uses of its
+    nested regions (region arguments excluded) — the use set that
+    decides whether a value lives across a barrier-fission split. *)
+let deep_uses i =
+  direct_uses i
+  @ List.concat_map
+      (fun (args, r) ->
+        List.filter (fun v -> not (List.exists (Value.equal v) args)) (free_values r))
+      (regions i)
+
 (** Does the block (deeply) contain a barrier with the given scope, or
     any barrier at all when [scope] is [None]? *)
 let contains_barrier ?scope block =

@@ -12,6 +12,9 @@ module Backend = Pgpu_target.Backend
 module Tracer = Pgpu_trace.Tracer
 module Json = Pgpu_trace.Json
 module Cache = Pgpu_cache.Cache
+module Fission = Pgpu_transforms.Fission
+module Cpu_exec = Pgpu_cpu.Cpu_exec
+module Cpu_timing = Pgpu_cpu.Cpu_timing
 
 let src = Logs.Src.create "pgpu.runtime" ~doc:"Polygeist-GPU host runtime"
 
@@ -33,6 +36,9 @@ type config = {
       (** execute every block of every launch — outputs are exact; when
           false, large grids are sampled and only timing is meaningful *)
   sample_blocks : int;  (** blocks executed per launch when sampling *)
+  jobs : int;
+      (** host OCaml domains used by the CPU backend's domain-parallel
+          block execution; ignored by GPU targets *)
   tune : bool;  (** enable timing-driven selection of alternatives *)
   fixed_choice : int;  (** alternatives region used when [tune] is false *)
   host_op_cost : float;  (** seconds charged per interpreted host instruction *)
@@ -56,6 +62,7 @@ let default_config target =
     target;
     functional = true;
     sample_blocks = 24;
+    jobs = 1;
     tune = false;
     fixed_choice = 0;
     host_op_cost = 2e-9;
@@ -84,6 +91,10 @@ type state = {
   khash_cache : (int, int) Hashtbl.t;
       (** wrapper id -> closed structural hash of its body, so the
           persistent TDO key is computed once per launch site *)
+  fission_cache : (int * int * int list, Instr.block option) Hashtbl.t;
+      (** (wrapper id, alternative) -> barrier-fissioned region for the
+          CPU backend; [None] records that fission was refused and the
+          site runs through the lockstep interpreter instead *)
 }
 
 let create config =
@@ -101,6 +112,7 @@ let create config =
     freevars_cache = Hashtbl.create 8;
     stats_cache = Hashtbl.create 8;
     khash_cache = Hashtbl.create 8;
+    fission_cache = Hashtbl.create 8;
   }
 
 exception Host_error of string
@@ -250,10 +262,74 @@ let kernel_stats st ~wid ~alt region =
       Hashtbl.replace st.stats_cache key s;
       s
 
+(** The CPU backend replaces the lockstep launch path when the target
+    is a CPU and no dynamic race detector is attached (the detector's
+    hooks live in the single-machine lockstep interpreter, so a race
+    check forces the fallback path). *)
+let cpu_mode st =
+  st.config.target.Descriptor.kind = Descriptor.Cpu && st.config.racecheck = None
+
+(** Barrier-fission a kernel region for CPU execution, memoized per
+    launch site. A refusal (synchronizing [While], thread-dependent
+    interchange operand, ...) is also memoized: the region then runs
+    through the lockstep interpreter, which is always correct.
+
+    Thread extents are usually host-computed rather than literal in
+    the kernel region, so fission resolves them through the live
+    environment; the memo key carries the resolved extents, making a
+    relaunch with different block dimensions re-lower (with correctly
+    re-sized scratch) instead of replaying a stale region. *)
+let env_const st (v : Value.t) =
+  match Hashtbl.find_opt st.env v.Value.id with Some (Exec.UI n) -> Some n | _ -> None
+
+let thread_extents st (region : Instr.block) =
+  let acc = ref [] in
+  Instr.iter_deep
+    (fun i ->
+      match i with
+      | Instr.Parallel { level = Instr.Threads; ubs; _ } ->
+          List.iter
+            (fun u -> acc := Option.value ~default:(-1) (env_const st u) :: !acc)
+            ubs
+      | _ -> ())
+    region;
+  List.rev !acc
+
+let cpu_lowered st ~wid ~alt (region : Instr.block) =
+  let key = (wid, alt, thread_extents st region) in
+  match Hashtbl.find_opt st.fission_cache key with
+  | Some (Some r) -> r
+  | Some None -> region
+  | None -> (
+      match Fission.lower_region ~const_of_ext:(env_const st) region with
+      | Ok { Fission.region = r; stats } ->
+          Log.debug (fun m ->
+              m "fission: wrapper %d alt %d: %d epoch(s), %d expanded, %d recomputed, %d hoisted"
+                wid alt stats.Fission.epochs stats.Fission.expanded stats.Fission.recomputed
+                stats.Fission.hoisted);
+          Tracer.instant_at st.config.tracer ~cat:"cpu" ~ts:(ticks st)
+            ~args:
+              [
+                ("wid", Json.Int wid);
+                ("alternative", if alt >= 0 then Json.Int alt else Json.Null);
+                ("epochs", Json.Int stats.Fission.epochs);
+                ("expanded", Json.Int stats.Fission.expanded);
+                ("recomputed", Json.Int stats.Fission.recomputed);
+                ("hoisted", Json.Int stats.Fission.hoisted);
+              ]
+            "cpu:fission";
+          Hashtbl.replace st.fission_cache key (Some r);
+          r
+      | Error msg ->
+          Log.debug (fun m -> m "fission: wrapper %d alt %d refused (%s); lockstep fallback" wid alt msg);
+          Hashtbl.replace st.fission_cache key None;
+          region)
+
 (** Execute one kernel region (the selected alternatives region or the
     plain wrapper body): leading host instructions are evaluated, each
     grid-level parallel is launched. *)
 let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
+  let region = if cpu_mode st then cpu_lowered st ~wid ~alt region else region in
   let stats = kernel_stats st ~wid ~alt region in
   List.iter
     (fun i ->
@@ -271,11 +347,8 @@ let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
                   | None -> 1
                 in
                 tb > 0 && stats.Backend.static_shmem / max 1 tb > amd_shared_offload_threshold
-            | Descriptor.Nvidia -> false
+            | Descriptor.Nvidia | Descriptor.Generic -> false
           in
-          st.machine.Exec.shared_as_global <- offload;
-          let result = Exec.launch st.machine ~mode ~env:st.env i in
-          st.machine.Exec.shared_as_global <- false;
           let shmem =
             if offload then 0 (* demoted: no occupancy pressure from shared memory *)
             else stats.Backend.static_shmem
@@ -288,7 +361,21 @@ let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
               mlp = stats.Backend.mlp;
             }
           in
-          let breakdown = Timing.estimate st.config.target ~demand result in
+          let result, breakdown =
+            if cpu_mode st then begin
+              let cres = Cpu_exec.launch st.config.target ~jobs:st.config.jobs ~mode ~env:st.env i in
+              let result = cres.Cpu_exec.result in
+              ( result,
+                Cpu_timing.estimate st.config.target ~demand
+                  ~vector_fraction:cres.Cpu_exec.vector_fraction result )
+            end
+            else begin
+              st.machine.Exec.shared_as_global <- offload;
+              let result = Exec.launch st.machine ~mode ~env:st.env i in
+              st.machine.Exec.shared_as_global <- false;
+              (result, Timing.estimate st.config.target ~demand result)
+            end
+          in
           let t0 = ticks st in
           charge st breakdown.Timing.seconds;
           if not st.trial then begin
@@ -489,12 +576,12 @@ and choose_alternative st ~name ~wid ~signature ?ckey (aid : int) (descs : strin
 and exec_kernel_region_probe st ~name:_ ~wid ~alt region acc =
   (* like [exec_kernel_region] but accumulates estimated seconds in
      [acc]; used for TDO trials *)
+  let region = if cpu_mode st then cpu_lowered st ~wid ~alt region else region in
   let stats = kernel_stats st ~wid ~alt region in
   List.iter
     (fun i ->
       match i with
       | Instr.Parallel { level = Instr.Blocks; _ } ->
-          let result = Exec.launch st.machine ~mode:(`Sample st.config.sample_blocks) ~env:st.env i in
           let demand =
             {
               Timing.regs_per_thread = stats.Backend.regs_per_thread;
@@ -503,7 +590,21 @@ and exec_kernel_region_probe st ~name:_ ~wid ~alt region acc =
               mlp = stats.Backend.mlp;
             }
           in
-          let breakdown = Timing.estimate st.config.target ~demand result in
+          let breakdown =
+            if cpu_mode st then begin
+              let cres =
+                Cpu_exec.launch st.config.target ~jobs:st.config.jobs
+                  ~mode:(`Sample st.config.sample_blocks) ~env:st.env i
+              in
+              Cpu_timing.estimate st.config.target ~demand
+                ~vector_fraction:cres.Cpu_exec.vector_fraction cres.Cpu_exec.result
+            end
+            else
+              let result =
+                Exec.launch st.machine ~mode:(`Sample st.config.sample_blocks) ~env:st.env i
+              in
+              Timing.estimate st.config.target ~demand result
+          in
           acc := !acc +. breakdown.Timing.seconds
       | _ -> exec_host_instr st i)
     region

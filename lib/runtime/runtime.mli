@@ -30,6 +30,9 @@ type config = {
       (** execute every block of every launch (exact outputs); when
           false, large grids are sampled and only timing is meaningful *)
   sample_blocks : int;  (** blocks executed per launch when sampling *)
+  jobs : int;
+      (** host OCaml domains used by the CPU backend's domain-parallel
+          block execution; ignored by GPU targets *)
   tune : bool;  (** timing-driven selection of alternatives *)
   fixed_choice : int;  (** alternatives region when not tuning *)
   host_op_cost : float;  (** seconds per interpreted host instruction *)

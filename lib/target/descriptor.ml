@@ -7,17 +7,27 @@
     ([fp32_tflops]/[fp64_tflops]), so the Table I headline numbers are
     a consequence of the machine model rather than free constants. *)
 
-type vendor = Nvidia | Amd
+type vendor = Nvidia | Amd | Generic
+
+(** Whether the descriptor models a GPU (SPMD warps on SMs/CUs, the
+    gpusim executor) or a CPU (barrier-fissioned loop nests executed
+    sequentially per core by [lib/cpu]). For CPU descriptors the per-SM
+    fields are reinterpreted per core and [warp_size] is 1. *)
+type kind = Gpu | Cpu
 
 type t = {
   name : string;  (** short lower-case name, e.g. ["a100"] *)
   arch : string;  (** compiler target triple component, e.g. ["sm_80"] *)
   vendor : vendor;
+  kind : kind;
   (* --- machine shape --- *)
-  sm_count : int;  (** streaming multiprocessors (NVIDIA) / compute units (AMD) *)
-  warp_size : int;  (** 32-wide warps (NVIDIA) or 64-wide wavefronts (CDNA) *)
+  sm_count : int;  (** streaming multiprocessors / compute units / CPU cores *)
+  warp_size : int;  (** 32-wide warps (NVIDIA), 64-wide wavefronts (CDNA), 1 on CPUs *)
   clock_ghz : float;  (** sustained boost clock used for throughput *)
   issue_per_cycle : int;  (** warp instructions issued per SM per cycle *)
+  simd_width : int;
+      (** data-parallel lanes of one vector instruction: the warp width
+          on GPUs, the vector-register width (f32 elements) on CPUs *)
   (* --- execution lanes per SM, in results per cycle --- *)
   fp32_lanes_per_sm : int;
   fp64_lanes_per_sm : int;
@@ -41,6 +51,9 @@ type t = {
   l1_bytes_per_sm : int;
   l1_line_bytes : int;
   l2_bytes : int;
+      (** device-wide on GPUs; total across per-core slices on CPUs *)
+  l3_bytes : int;  (** shared last-level cache; 0 on the GPU targets *)
+  l3_bandwidth_gbs : float;  (** aggregate L3 bandwidth; 0 on GPUs *)
   l1_latency : float;  (** load-to-use latencies, in cycles *)
   l2_latency : float;
   dram_latency : float;
@@ -67,10 +80,12 @@ let a4000 =
     name = "a4000";
     arch = "sm_86";
     vendor = Nvidia;
+    kind = Gpu;
     sm_count = 48;
     warp_size = 32;
     clock_ghz = 1.56;
     issue_per_cycle = 4;
+    simd_width = 32;
     fp32_lanes_per_sm = 128;
     fp64_lanes_per_sm = 4;
     int_lanes_per_sm = 64;
@@ -87,6 +102,8 @@ let a4000 =
     l1_bytes_per_sm = 131072;
     l1_line_bytes = 128;
     l2_bytes = 4194304;
+    l3_bytes = 0;
+    l3_bandwidth_gbs = 0.;
     l1_latency = 28.;
     l2_latency = 190.;
     dram_latency = 380.;
@@ -105,10 +122,12 @@ let a100 =
     name = "a100";
     arch = "sm_80";
     vendor = Nvidia;
+    kind = Gpu;
     sm_count = 108;
     warp_size = 32;
     clock_ghz = 1.41;
     issue_per_cycle = 4;
+    simd_width = 32;
     fp32_lanes_per_sm = 64;
     fp64_lanes_per_sm = 32;
     int_lanes_per_sm = 64;
@@ -125,6 +144,8 @@ let a100 =
     l1_bytes_per_sm = 196608;
     l1_line_bytes = 128;
     l2_bytes = 41943040;
+    l3_bytes = 0;
+    l3_bandwidth_gbs = 0.;
     l1_latency = 28.;
     l2_latency = 200.;
     dram_latency = 400.;
@@ -143,10 +164,12 @@ let rx6800 =
     name = "rx6800";
     arch = "gfx1030";
     vendor = Amd;
+    kind = Gpu;
     sm_count = 60;
     warp_size = 32;
     clock_ghz = 2.105;
     issue_per_cycle = 4;
+    simd_width = 32;
     fp32_lanes_per_sm = 64;
     fp64_lanes_per_sm = 4;
     int_lanes_per_sm = 64;
@@ -163,6 +186,8 @@ let rx6800 =
     l1_bytes_per_sm = 16384;
     l1_line_bytes = 128;
     l2_bytes = 4194304;
+    l3_bytes = 0;
+    l3_bandwidth_gbs = 0.;
     l1_latency = 30.;
     l2_latency = 210.;
     dram_latency = 420.;
@@ -181,10 +206,12 @@ let mi210 =
     name = "mi210";
     arch = "gfx90a";
     vendor = Amd;
+    kind = Gpu;
     sm_count = 104;
     warp_size = 64;
     clock_ghz = 1.7;
     issue_per_cycle = 4;
+    simd_width = 64;
     fp32_lanes_per_sm = 64;
     fp64_lanes_per_sm = 64;
     int_lanes_per_sm = 64;
@@ -201,6 +228,8 @@ let mi210 =
     l1_bytes_per_sm = 16384;
     l1_line_bytes = 64;
     l2_bytes = 8388608;
+    l3_bytes = 0;
+    l3_bandwidth_gbs = 0.;
     l1_latency = 30.;
     l2_latency = 220.;
     dram_latency = 440.;
@@ -212,16 +241,90 @@ let mi210 =
     block_dispatch_overhead = 1.5e-9;
   }
 
-let all = [ a4000; a100; rx6800; mi210 ]
+(** Generic 16-core desktop-class x86-64 CPU (AVX2): the default
+    [--target cpu] machine of the barrier-fission backend. Per-SM
+    fields are per core: two 8-wide FMA pipes (16 f32 results/cycle),
+    half-rate f64, four scalar ALUs, two load/store ports, 32 KiB L1D
+    and a 512 KiB private L2 slice per core, one shared 32 MiB L3.
+    Occupancy limits are permissive — a CPU "block" is just a loop
+    iteration — but keep the same shape so alternatives pruning and
+    the tuner work unchanged. *)
+let cpu =
+  {
+    name = "cpu";
+    arch = "x86_64";
+    vendor = Generic;
+    kind = Cpu;
+    sm_count = 16;
+    warp_size = 1;
+    clock_ghz = 3.2;
+    issue_per_cycle = 4;
+    simd_width = 8;
+    fp32_lanes_per_sm = 16;
+    fp64_lanes_per_sm = 8;
+    int_lanes_per_sm = 4;
+    sfu_lanes_per_sm = 1;
+    lsu_lanes_per_sm = 2;
+    max_threads_per_block = 1024;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    regs_per_sm = 262144;
+    max_regs_per_thread = 512;
+    shmem_per_sm = 4194304;
+    max_shmem_per_block = 2097152;
+    shmem_banks = 32;
+    l1_bytes_per_sm = 32768;
+    l1_line_bytes = 64;
+    l2_bytes = 8388608;
+    l3_bytes = 33554432;
+    l3_bandwidth_gbs = 400.;
+    l1_latency = 4.;
+    l2_latency = 14.;
+    dram_latency = 300.;
+    alu_latency = 4.;
+    l2_bandwidth_gbs = 1600.;
+    mem_bandwidth_gbs = 76.8;
+    h2d_bandwidth_gbs = 76.8;
+    kernel_launch_overhead = 5e-6;
+    block_dispatch_overhead = 2e-8;
+  }
+
+(** AMD EPYC 7763 (Zen 3): a 64-core server part — same core
+    micro-architecture assumptions as [cpu] but wider (8-channel DDR4)
+    and with a much larger L3. *)
+let epyc7763 =
+  {
+    cpu with
+    name = "epyc7763";
+    arch = "znver3";
+    sm_count = 64;
+    clock_ghz = 2.45;
+    l2_bytes = 33554432;
+    l3_bytes = 268435456;
+    l3_bandwidth_gbs = 800.;
+    mem_bandwidth_gbs = 204.8;
+    h2d_bandwidth_gbs = 204.8;
+  }
+
+let all = [ a4000; a100; rx6800; mi210; cpu; epyc7763 ]
+let gpus = List.filter (fun t -> t.kind = Gpu) all
+let cpus = List.filter (fun t -> t.kind = Cpu) all
 
 let pp_vendor ppf = function
   | Nvidia -> Fmt.string ppf "NVIDIA"
   | Amd -> Fmt.string ppf "AMD"
+  | Generic -> Fmt.string ppf "Generic"
+
+let pp_kind ppf = function
+  | Gpu -> Fmt.string ppf "GPU"
+  | Cpu -> Fmt.string ppf "CPU"
 
 let pp ppf t =
-  Fmt.pf ppf "%-7s %-8s %a  %3d %s, warp %2d, %.2f GHz, %5.2f/%5.2f TFLOP/s f32/f64, %4.0f GB/s"
+  Fmt.pf ppf "%-8s %-8s %a  %3d %s, warp %2d, %.2f GHz, %5.2f/%5.2f TFLOP/s f32/f64, %4.0f GB/s"
     t.name t.arch pp_vendor t.vendor t.sm_count
-    (match t.vendor with Nvidia -> "SMs" | Amd -> "CUs")
+    (match t.kind with
+    | Cpu -> "cores"
+    | Gpu -> ( match t.vendor with Amd -> "CUs" | Nvidia | Generic -> "SMs"))
     t.warp_size t.clock_ghz (fp32_tflops t) (fp64_tflops t) t.mem_bandwidth_gbs
 
 (** Header and rows of the paper's Table I, rendered from the
@@ -259,4 +362,4 @@ let table1_rows () =
       Fmt.str "%.0f" (float_of_int t.l2_bytes /. 1048576.);
     ]
   in
-  (header, List.map row all)
+  (header, List.map row gpus)

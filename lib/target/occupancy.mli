@@ -1,0 +1,30 @@
+(** CUDA-style occupancy calculator.
+
+    Given a kernel's per-block resource demand, computes how many
+    blocks one SM can host concurrently and which resource is the
+    binding constraint. Occupancy is [active_warps / warp slots].
+    Demands that can never execute (block too large, register budget
+    exceeded, static shared memory above the per-block limit) are
+    rejected — the static pruning of the multi-versioning pipeline
+    (Section VI). *)
+
+type demand = { threads_per_block : int; regs_per_thread : int; shmem_per_block : int }
+
+type result = {
+  blocks_per_sm : int;
+  active_warps : int;  (** warps resident per SM at this occupancy *)
+  occupancy : float;  (** active warps / warp slots, in (0, 1] *)
+  limiter : string;  (** "threads" | "registers" | "shmem" | "blocks" *)
+}
+
+type rejection = Too_many_threads | Too_many_regs | Too_much_shmem
+
+val pp_rejection : rejection Fmt.t
+
+(** Feasibility alone, without the block-packing computation. *)
+val check : Descriptor.t -> demand -> (unit, rejection) Stdlib.result
+
+val compute : Descriptor.t -> demand -> (result, rejection) Stdlib.result
+
+(** @raise Invalid_argument on an infeasible demand. *)
+val compute_exn : Descriptor.t -> demand -> result

@@ -1,0 +1,15 @@
+(** Linear-scan register allocation over the virtual ISA.
+
+    Live intervals are [first def, last use] spans over the linear
+    instruction stream, extended across loops. When pressure exceeds
+    the target's per-thread budget, the interval with the furthest end
+    is spilled (Poletto-Sarkar), and the cost is reported as the
+    ptxas-style spill statistics that alternative pruning consumes. *)
+
+type result = {
+  regs_used : int;  (** peak simultaneously-live registers, <= budget *)
+  spilled : int;  (** live intervals moved to local memory *)
+  spill_instructions : int;  (** estimated spill stores + reload loads *)
+}
+
+val allocate : budget:int -> Visa.program -> result

@@ -1,0 +1,56 @@
+(** Virtual ISA: the backend's linear register IR.
+
+    Device regions are lowered to a flat instruction stream over
+    virtual registers — the stand-in for PTX/GCN that the register
+    allocator and the kernel statistics operate on. Structured control
+    flow is linearized in place; loop extents are recorded as index
+    spans so liveness can be extended across back edges. Instructions
+    carry a functional-unit [kind], giving the instruction mix that
+    the timing model's issue statistics build on. *)
+
+open Pgpu_ir
+
+type rw = Read | Write
+
+type kind =
+  | Fp32
+  | Fp64
+  | Int  (** integer ALU, predicates, immediate moves *)
+  | Sfu  (** special-function unit: sqrt, exp, log, sin, cos, rsqrt, pow *)
+  | Mem_global of rw
+  | Mem_shared of rw
+  | Sync
+  | Other  (** control flow, phis, host-side ops *)
+
+type vinstr = {
+  kind : kind;
+  defs : int list;  (** virtual registers written *)
+  srcs : int list;  (** virtual registers read *)
+}
+
+(** A loop's [start, stop] instruction-index span (inclusive): [start]
+    is the header, [stop] the latch. *)
+type loop = { start : int; stop : int }
+
+type program = {
+  code : vinstr array;
+  loops : loop list;
+  nvregs : int;
+  use_counts : int array;  (** reads per virtual register *)
+}
+
+type mix = {
+  n_fp : int;
+  n_int : int;
+  n_sfu : int;
+  n_mem_global : int;
+  n_mem_shared : int;
+  n_sync : int;
+  n_total : int;
+}
+
+val kind_of_ty : Types.t -> kind
+val mem_kind : rw -> Value.t -> kind
+val kind_of_expr : Value.t -> Instr.expr -> kind
+val lower : Instr.block -> program
+val instruction_mix : program -> mix
