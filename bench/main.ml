@@ -7,19 +7,45 @@
 
 module E = Pgpu_core.Experiments
 module P = Pgpu_core.Polygeist_gpu
+module O = Pgpu_obs
 module Descriptor = Pgpu_target.Descriptor
+module Json = Pgpu_trace.Json
 
 let quick = Array.exists (String.equal "--quick") Sys.argv
 
-(** [--metrics-dir DIR]: write each experiment's data as
-    DIR/<experiment>.json next to the printed tables. *)
-let metrics_dir =
+(** Flags taking a value, parsed by hand so they compose with the
+    positional experiment names. *)
+let flag_value name =
   let rec find = function
-    | "--metrics-dir" :: dir :: _ -> Some dir
+    | f :: v :: _ when String.equal f name -> Some v
     | _ :: rest -> find rest
     | [] -> None
   in
   find (Array.to_list Sys.argv)
+
+(** [--metrics-dir DIR]: write each experiment's data as
+    DIR/<experiment>.json next to the printed tables, plus an
+    aggregating DIR/summary.json at exit. *)
+let metrics_dir = flag_value "--metrics-dir"
+
+(** [--obs-dir DIR]: append the gate suite's run records to the
+    history database under DIR. *)
+let obs_dir = flag_value "--obs-dir"
+
+(** [--baseline FILE]: compare the gate suite against a saved
+    baseline; with [--gate], exit non-zero on regressions. *)
+let baseline_file = flag_value "--baseline"
+
+(** [--write-baseline FILE]: snapshot the gate suite as a new
+    baseline (how [bench/baselines/quick.json] is refreshed). *)
+let write_baseline = flag_value "--write-baseline"
+
+let gate_enabled = Array.exists (String.equal "--gate") Sys.argv
+let repeats = match flag_value "--repeats" with Some r -> int_of_string r | None -> 1
+let gate_failed = ref false
+
+(* every experiment's JSON, accumulated for summary.json *)
+let summaries : (string * Json.t) list ref = ref []
 
 let write_metrics name json =
   match metrics_dir with
@@ -28,17 +54,29 @@ let write_metrics name json =
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       let path = Filename.concat dir (name ^ ".json") in
       Pgpu_trace.Json.to_file path json;
+      summaries := !summaries @ [ (name, json) ];
       Fmt.pr "[%s metrics written to %s]@." name path
+
+let write_summary () =
+  match metrics_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir "summary.json" in
+      Pgpu_trace.Json.to_file path
+        (Json.Obj
+           [
+             ("generated_by", Json.Str "bench/main.exe");
+             ("rev", Json.Str (O.History.git_rev ()));
+             ("env", Json.Str (O.History.env_fingerprint ()));
+             ("quick", Json.Bool quick);
+             ("experiments", Json.Obj !summaries);
+           ]);
+      Fmt.pr "[summary written to %s]@." path
 
 (** In quick mode the composite experiments use a subset of benchmarks
     (handy while iterating). *)
-let benches () =
-  if quick then
-    List.filter
-      (fun (b : P.Bench_def.t) ->
-        List.mem b.P.Bench_def.name [ "lud"; "gaussian"; "nw"; "hotspot"; "nn" ])
-      P.Rodinia.all
-  else P.Rodinia.all
+let benches () = if quick then E.quick_benches () else P.Rodinia.all
 
 let heading name = Fmt.pr "@.################ %s ################@.@." name
 
@@ -147,6 +185,49 @@ let cachebench () =
   write_metrics "cachebench" (Pgpu_trace.Json.Obj rows)
 
 (* ------------------------------------------------------------------ *)
+(* Regression gate: history store + baseline comparator                *)
+(* ------------------------------------------------------------------ *)
+
+let gate () =
+  heading "Regression gate (performance observatory)";
+  let benches = benches () in
+  Fmt.pr "measuring %d bench(es) x %d target(s) x %d config(s), %d repeat(s)@."
+    (List.length benches) (List.length E.obs_targets) (List.length E.obs_configs) repeats;
+  let entries = E.obs_suite ~benches ~repeats () in
+  Fmt.pr "%d run record(s) collected@." (List.length entries);
+  Option.iter
+    (fun dir ->
+      O.History.append ~dir entries;
+      Fmt.pr "history appended to %s@." (O.History.file ~dir))
+    obs_dir;
+  Option.iter
+    (fun path ->
+      let b = O.Baseline.snapshot ~name:"quick" entries in
+      O.Baseline.save path b;
+      Fmt.pr "baseline %S (%d key(s), rev %s) written to %s@." b.O.Baseline.name
+        (List.length b.O.Baseline.entries) b.O.Baseline.rev path)
+    write_baseline;
+  match baseline_file with
+  | None ->
+      if gate_enabled && write_baseline = None then
+        Fmt.epr "warning: --gate without --baseline FILE gates nothing@."
+  | Some path -> (
+      match O.Baseline.load path with
+      | Error e ->
+          Fmt.epr "cannot load baseline: %s@." e;
+          exit 2
+      | Ok base ->
+          let res = O.Baseline.compare_runs base entries in
+          Fmt.pr "vs baseline %S (rev %s): %a@." base.O.Baseline.name base.O.Baseline.rev
+            O.Baseline.pp_result res;
+          write_metrics "gate" (O.Baseline.json_of_result res);
+          let regressions = O.Baseline.regressions res in
+          if regressions <> [] then begin
+            Fmt.epr "%d gated regression(s) vs %s@." (List.length regressions) path;
+            if gate_enabled then gate_failed := true
+          end)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -249,20 +330,26 @@ let () =
       ("cpu", cpu);
       ("ablation", ablation);
       ("cachebench", cachebench);
+      ("gate", gate);
       ("micro", micro);
       ("all", all);
     ]
   in
   let args =
     let rec clean = function
-      | "--metrics-dir" :: _ :: rest -> clean rest
-      | "--quick" :: rest -> clean rest
+      | "--metrics-dir" :: _ :: rest
+      | "--obs-dir" :: _ :: rest
+      | "--baseline" :: _ :: rest
+      | "--write-baseline" :: _ :: rest
+      | "--repeats" :: _ :: rest ->
+          clean rest
+      | "--quick" :: rest | "--gate" :: rest -> clean rest
       | a :: rest -> a :: clean rest
       | [] -> []
     in
     Array.to_list Sys.argv |> List.tl |> clean
   in
-  match args with
+  (match args with
   | [] -> all ()
   | names ->
       List.iter
@@ -274,4 +361,6 @@ let () =
                 Fmt.(list ~sep:comma string)
                 (List.map fst cmds);
               exit 1)
-        names
+        names);
+  write_summary ();
+  if !gate_failed then exit 1

@@ -181,6 +181,38 @@ let read_file path =
   close_in ic;
   s
 
+(* --- performance observatory plumbing --- *)
+
+let obs_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-dir" ] ~docv:"DIR"
+        ~doc:
+          "Append one run record per kernel (counters, simulated cycles, TDO choice, \
+           bottleneck attribution, git rev, environment fingerprint) to the history \
+           database $(docv)/runs.jsonl, consumed by $(b,pgpu report).")
+
+(** Name of the compilation configuration a run record belongs to,
+    derived from the CLI flags: the same naming the bench gate uses. *)
+let config_desc ~coarsen ~tune =
+  if coarsen = [] then if tune then "tdo" else "untuned"
+  else
+    Fmt.str "%s[%s]"
+      (if tune then "tdo" else "fixed")
+      (String.concat ";" (List.map (fun (b, t) -> Fmt.str "%d,%d" b t) coarsen))
+
+let record_history ~obs_dir ~bench ~config ~target (r : P.run_result) =
+  Option.iter
+    (fun dir ->
+      let entries =
+        P.History.entries_of_run ~bench ~config ~target ~composite_seconds:r.P.composite_seconds
+          r.P.records
+      in
+      P.History.append ~dir entries;
+      Fmt.pr "%d run record(s) appended to %s@." (List.length entries) (P.History.file ~dir))
+    obs_dir
+
 (* --- compile --- *)
 
 let compile_cmd =
@@ -235,7 +267,7 @@ let print_run_summary (r : P.run_result) =
 
 let run_cmd =
   let run () file target no_opt coarsen tune choice args trace metrics cache_dir no_cache
-      cache_stats jobs =
+      cache_stats jobs obs_dir =
     with_tracer trace metrics @@ fun tracer ->
     let cache = make_cache no_cache cache_dir in
     let c =
@@ -245,6 +277,9 @@ let run_cmd =
     let r = P.run ~tune ~fixed_choice:choice ~jobs ~tracer ~cache c ~args in
     write_cache_stats cache cache_stats;
     print_run_summary r;
+    record_history ~obs_dir
+      ~bench:(Filename.remove_extension (Filename.basename file))
+      ~config:(config_desc ~coarsen ~tune) ~target r;
     0
   in
   Cmd.v
@@ -252,7 +287,7 @@ let run_cmd =
     Term.(
       const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
       $ choice_arg $ args_arg $ trace_arg $ metrics_arg $ cache_dir_arg $ no_cache_arg
-      $ cache_stats_arg $ jobs_arg)
+      $ cache_stats_arg $ jobs_arg $ obs_dir_arg)
 
 (* --- bench --- *)
 
@@ -279,7 +314,7 @@ let bench_cmd =
              choice/output identity as JSON.")
   in
   let run () name target no_opt coarsen tune verify perf args trace metrics cache_dir no_cache
-      cache_stats jobs cold_warm =
+      cache_stats jobs cold_warm obs_dir =
     with_tracer trace metrics @@ fun tracer ->
     let b =
       try P.Rodinia.find name with Failure _ -> P.Hecbench.find name
@@ -299,6 +334,7 @@ let bench_cmd =
       in
       write_cache_stats cache cache_stats;
       print_run_summary r;
+      record_history ~obs_dir ~bench:name ~config:(config_desc ~coarsen ~tune) ~target r;
       if verify then Fmt.pr "outputs verified against the CPU reference.@.";
       0
     end
@@ -308,7 +344,7 @@ let bench_cmd =
     Term.(
       const run $ setup_logs_t $ name_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
       $ verify_arg $ perf_arg $ args_arg $ trace_arg $ metrics_arg $ cache_dir_arg
-      $ no_cache_arg $ cache_stats_arg $ jobs_arg $ cold_warm_arg)
+      $ no_cache_arg $ cache_stats_arg $ jobs_arg $ cold_warm_arg $ obs_dir_arg)
 
 (* --- profile --- *)
 
@@ -559,6 +595,107 @@ let targets_cmd =
           Table-I-style machine parameters.")
     Term.(const run $ setup_logs_t $ json_arg)
 
+(* --- report --- *)
+
+let report_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "obs-dir" ] ~docv:"DIR"
+          ~doc:"History database directory ($(docv)/runs.jsonl), as written by \
+                $(b,pgpu run --obs-dir), $(b,pgpu bench --obs-dir) or the bench harness's \
+                $(b,gate) experiment.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Compare the history against a saved baseline (e.g. \
+                bench/baselines/quick.json) and include the verdicts in the report.")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:"Embed a bench harness summary.json (from $(b,bench --metrics-dir)).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:"Also write a self-contained HTML dashboard (per-target speedup tables, \
+                bottleneck badges, baseline verdicts) to $(docv).")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:"Exit non-zero when the baseline comparison contains regressions \
+                (requires --baseline).")
+  in
+  let run () dir baseline summary as_json html gate =
+    match P.History.load ~dir with
+    | Error e ->
+        Fmt.epr "pgpu report: %s@." e;
+        1
+    | Ok entries -> (
+        let baseline =
+          Option.map
+            (fun path ->
+              match P.Baseline.load path with
+              | Ok b -> b
+              | Error e ->
+                  Fmt.epr "pgpu report: %s@." e;
+                  exit 2)
+            baseline
+        in
+        let summary =
+          Option.map
+            (fun path ->
+              match P.Trace.Json.of_string (read_file path) with
+              | Ok j -> j
+              | Error e ->
+                  Fmt.epr "pgpu report: %s: %s@." path e;
+                  exit 2)
+            summary
+        in
+        let report = P.Obs_report.build ?baseline ?summary entries in
+        if as_json then Fmt.pr "%s@." (P.Trace.Json.to_string_pretty (P.Obs_report.to_json report))
+        else Fmt.pr "%a" P.Obs_report.pp report;
+        Option.iter
+          (fun path ->
+            let oc = open_out_bin path in
+            output_string oc (P.Obs_report.to_html report);
+            close_out oc;
+            Fmt.epr "HTML report written to %s@." path)
+          html;
+        match report.P.Obs_report.baseline with
+        | Some (_, res) when gate && P.Baseline.regressions res <> [] ->
+            Fmt.epr "pgpu report: %d gated regression(s)@."
+              (List.length (P.Baseline.regressions res));
+            1
+        | _ ->
+            if gate && baseline = None then
+              Fmt.epr "pgpu report: --gate without --baseline gates nothing@.";
+            0)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render the performance-observatory history: per-target speedup tables, per-kernel \
+          bottleneck attribution, and optional baseline regression verdicts — as text, JSON \
+          or a self-contained HTML dashboard.")
+    Term.(
+      const run $ setup_logs_t $ dir_arg $ baseline_arg $ summary_arg $ json_arg $ html_arg
+      $ gate_arg)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -585,6 +722,16 @@ let main =
        ~doc:
          "Retargeting and respecializing GPU workloads for performance portability \
           (CGO 2024 reproduction on simulated GPUs).")
-    [ compile_cmd; run_cmd; bench_cmd; check_cmd; profile_cmd; hipify_cmd; targets_cmd; list_cmd ]
+    [
+      compile_cmd;
+      run_cmd;
+      bench_cmd;
+      check_cmd;
+      profile_cmd;
+      report_cmd;
+      hipify_cmd;
+      targets_cmd;
+      list_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

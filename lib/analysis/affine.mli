@@ -1,0 +1,80 @@
+(** Thread-index-affine expressions and the integer (in)feasibility
+    procedures behind the static race checker. Race queries become
+    conjunctive systems of affine equalities/inequalities over two
+    renamed instances of the thread symbols; the decision stack is
+    Fourier–Motzkin elimination with integer tightening, a
+    modulus-interval test per equality (subsuming the GCD test), and a
+    congruence rule for modulo guards. All procedures answer [true]
+    only when infeasibility is certain — [false] means "not proven". *)
+
+type kind =
+  | Thread of int  (** thread induction variable, dimension index *)
+  | Local  (** per-thread-instance (counter of a barrier-free loop) *)
+  | Shared  (** uniform across the threads of a block *)
+
+type sym = {
+  sid : int;
+  name : string;  (** printing hint, not an identity *)
+  kind : kind;
+  lo : int option;  (** weak constant bounds, inclusive *)
+  hi : int option;
+}
+
+(** [const + sum coeff * sym]; terms sorted by [sid], coefficients
+    nonzero. *)
+type t = { const : int; terms : (sym * int) list }
+
+val const : int -> t
+val of_sym : sym -> t
+val is_const : t -> bool
+val add : t -> t -> t
+val scale : int -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val add_const : int -> t -> t
+
+(** [a * b] when one side is a constant; [None] otherwise. *)
+val mul : t -> t -> t option
+
+val equal : t -> t -> bool
+val syms : t -> sym list
+
+(** No per-instance symbols: every term is [Shared]. *)
+val is_uniform : t -> bool
+
+val is_thread_dep : t -> bool
+
+(** Mentions an actual thread-index symbol (as opposed to a local loop
+    counter, which is per-instance but not a thread index). *)
+val has_thread : t -> bool
+
+(** Rename the per-instance symbols (thread ivs and local loop
+    counters); shared symbols are preserved so both instances agree on
+    them. *)
+val rename : (sym -> sym) -> t -> t
+
+val pp : t Fmt.t
+
+(** Weak constant interval of an affine expression from its symbols'
+    intervals ([None] side = unbounded). *)
+val interval : t -> int option * int option
+
+(** A conjunctive system: every [eqs] member is [= 0], every [ges]
+    member is [>= 0]. *)
+type system = { eqs : t list; ges : t list }
+
+val empty : system
+val with_eq : t -> system -> system
+val with_ge : t -> system -> system
+
+(** [true] iff the system is certainly infeasible over the integers.
+    [depth] (default 2) bounds the recursive modulus-interval case
+    splits. *)
+val infeasible : ?depth:int -> system -> bool
+
+(** The congruence rule for a pair of modulo guards: both instances
+    satisfy [e ≡ 0 (mod m)] for the same uniform [m], so
+    [d = e1 - e2 ≡ 0 (mod m)]. [true] when [d >= m], [d <= -m] and
+    [d = 0] are all infeasible under [sys] — which makes [sys] itself
+    infeasible. *)
+val mod_guard_infeasible : ?depth:int -> system -> d:t -> m:t -> bool

@@ -655,3 +655,49 @@ let json_of_cpu_compare (data : cpu_entry list) : Json.t =
              ("bit_identical", Json.Bool e.bit_identical);
            ])
        data)
+
+(* ------------------------------------------------------------------ *)
+(* Performance observatory suite (regression gate)                     *)
+(* ------------------------------------------------------------------ *)
+
+(** The quick-mode benchmark subset shared by the bench harness
+    ([--quick]) and the committed regression baseline. *)
+let quick_names = [ "lud"; "gaussian"; "nw"; "hotspot"; "nn" ]
+
+let quick_benches () =
+  List.filter (fun (b : Bench_def.t) -> List.mem b.Bench_def.name quick_names) Rodinia.all
+
+(** Targets the observatory measures: one NVIDIA GPU, one AMD GPU and
+    the barrier-fission CPU backend. *)
+let obs_targets = [ Descriptor.a100; Descriptor.rx6800; Descriptor.cpu ]
+
+(** A small TDO sweep: enough alternatives to exercise tuning without
+    dominating gate wall-clock. *)
+let obs_specs = specs_of_totals [ (1, 1); (2, 1); (1, 2) ]
+
+(** Configurations the observatory records per bench x target:
+    name, coarsening specs, tune. *)
+let obs_configs = [ ("untuned", [], false); ("tdo", obs_specs, true) ]
+
+(** Run the observatory suite and return its history entries —
+    benches x targets x configs x repeats, one entry per kernel.
+    Functional (test-scale) runs on a deterministic simulator, so a
+    single repeat is exact; [repeats] exists for the median machinery.
+    [rev]/[env] are forwarded to the history stamps (tests pin them). *)
+let obs_suite ?(benches = Rodinia.all) ?(targets = obs_targets) ?(configs = obs_configs)
+    ?(repeats = 1) ?rev ?env () : History.entry list =
+  List.concat_map
+    (fun (b : Bench_def.t) ->
+      List.concat_map
+        (fun (target : Descriptor.t) ->
+          List.concat_map
+            (fun (config, specs, tune) ->
+              List.concat_map
+                (fun _rep ->
+                  let r = run_rodinia ~specs ~tune ~target b in
+                  History.entries_of_run ?rev ?env ~bench:b.Bench_def.name ~config ~target
+                    ~composite_seconds:r.composite_seconds r.records)
+                (List.init (max 1 repeats) Fun.id))
+            configs)
+        targets)
+    benches

@@ -144,6 +144,7 @@ let estimate (t : Descriptor.t) ~(demand : Timing.demand_source) ~(vector_fracti
     shared_cycles = 0.;
     l2_cycles;
     dram_cycles;
+    l3_cycles;
     latency_cycles;
     occupancy = occ;
     utilization;

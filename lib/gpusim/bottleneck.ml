@@ -1,0 +1,102 @@
+(** Bottleneck attribution: names *why* a kernel launch runs at the
+    speed it does on a given target.
+
+    The timing models ([Timing], [Cpu_timing]) already compute a
+    latency-aware roofline — kernel cycles are the maximum over
+    per-resource throughput terms plus a latency term. Attribution is
+    therefore a classification over that breakdown (and the raw
+    counters), not a new measurement:
+
+    - the *limiter* is the roofline term that attains the maximum,
+      refined from [dram] to [l3] when the last-level cache serves the
+      majority of the miss traffic (CPU targets);
+    - the *headroom* is how far the runner-up term sits below the
+      limiter, i.e. the fraction of the kernel time that would remain
+      after the current bottleneck were fully removed — small headroom
+      means the kernel hits several walls at once and fixing one buys
+      little;
+    - the *label* folds the limiter into the five buckets of the
+      report: memory-bound, compute-bound, latency-bound,
+      occupancy-limited (latency-bound on a GPU with too few resident
+      warps to hide it) and divergence-limited (compute-bound with a
+      large fraction of divergent branches inflating the issue count).
+
+    Every decision is a ratio of same-scaled quantities, so the
+    classification is invariant under uniform scaling of the counters
+    and cycle terms — a property the test suite pins with qcheck. *)
+
+open Pgpu_target
+
+type label =
+  | Memory_bound
+  | Compute_bound
+  | Latency_bound
+  | Occupancy_limited
+  | Divergence_limited
+
+type t = { label : label; limiter : string; headroom : float }
+
+let label_name = function
+  | Memory_bound -> "memory-bound"
+  | Compute_bound -> "compute-bound"
+  | Latency_bound -> "latency-bound"
+  | Occupancy_limited -> "occupancy-limited"
+  | Divergence_limited -> "divergence-limited"
+
+let all_labels =
+  [ Memory_bound; Compute_bound; Latency_bound; Occupancy_limited; Divergence_limited ]
+
+let label_of_name s = List.find_opt (fun l -> String.equal (label_name l) s) all_labels
+
+(* Occupancy below which a latency-bound GPU kernel is blamed on
+   residency rather than on the dependence chains themselves: more
+   warps would hide the latency, so the fix is occupancy, not ILP. *)
+let low_occupancy = 0.5
+
+(* Fraction of warp instructions retiring under divergence above which
+   a compute-bound kernel is blamed on divergence: the lanes are busy,
+   but a big share of that work is serialized branch halves. *)
+let divergence_fraction = 0.2
+
+let memory_terms = [ "lsu"; "l1"; "shared"; "l2"; "l3"; "dram" ]
+
+let classify ?(kind = Descriptor.Gpu) (c : Counters.t) (b : Timing.breakdown) : t =
+  let terms = Timing.terms b in
+  let limiter, top =
+    List.fold_left
+      (fun (ln, lv) (n, v) -> if v > lv then (n, v) else (ln, lv))
+      ("issue", Float.neg_infinity) terms
+  in
+  (* runner-up: the best of the other terms; on a tie it equals the
+     limiter, giving zero headroom, which is the honest answer *)
+  let runner_up =
+    List.fold_left
+      (fun acc (n, v) -> if String.equal n limiter then acc else Float.max acc v)
+      0. terms
+  in
+  let headroom = if top <= 0. then 0. else Float.max 0. (1. -. (runner_up /. top)) in
+  (* l3 refinement: dram_cycles folds the L3-served share on CPU
+     targets; when that share dominates, the working set lives in the
+     last-level cache, not in DRAM *)
+  let limiter =
+    if String.equal limiter "dram" && b.Timing.l3_cycles > b.Timing.dram_cycles -. b.Timing.l3_cycles
+    then "l3"
+    else limiter
+  in
+  let divergent =
+    c.Counters.divergent_branches /. Float.max 1. c.Counters.warp_insts > divergence_fraction
+  in
+  let label =
+    if String.equal limiter "latency" then
+      if kind = Descriptor.Gpu && b.Timing.occupancy.Occupancy.occupancy < low_occupancy then
+        Occupancy_limited
+      else Latency_bound
+    else if List.mem limiter memory_terms then Memory_bound
+    else if divergent then Divergence_limited
+    else Compute_bound
+  in
+  { label; limiter; headroom }
+
+let pp ppf t =
+  Fmt.pf ppf "%s (limiter %s, headroom %.0f%%)" (label_name t.label) t.limiter
+    (100. *. t.headroom)

@@ -1,0 +1,41 @@
+(** Bottleneck attribution over the roofline timing breakdown: names
+    the limiting resource of a kernel launch, the headroom below it,
+    and a five-way label (memory/compute/latency-bound,
+    occupancy-limited, divergence-limited). Pure classification over
+    [Timing.breakdown] + [Counters.t]; invariant under uniform scaling
+    of counters and cycle terms. *)
+
+open Pgpu_target
+
+type label =
+  | Memory_bound  (** a bandwidth term (lsu/l1/shared/l2/l3/dram) attains the max *)
+  | Compute_bound  (** an issue/ALU/SFU term attains the max *)
+  | Latency_bound  (** the dependence-stall term attains the max *)
+  | Occupancy_limited
+      (** latency-bound on a GPU with occupancy below 0.5 — more
+          resident warps would hide the latency *)
+  | Divergence_limited
+      (** compute-bound with > 20% of warp instructions under
+          divergence — the lanes are busy re-executing branch halves *)
+
+type t = {
+  label : label;
+  limiter : string;  (** the roofline term attaining the maximum, e.g. ["dram"] *)
+  headroom : float;
+      (** [1 - runner_up/limiter] in [0, 1]: fraction of kernel time
+          that removing the current bottleneck entirely would save *)
+}
+
+val all_labels : label list
+val label_name : label -> string
+
+(** Inverse of [label_name]; [None] on unknown strings. *)
+val label_of_name : string -> label option
+
+(** [classify ?kind counters breakdown]. [kind] defaults to [Gpu];
+    pass the target's kind so CPU launches are never blamed on
+    occupancy (there is no warp oversubscription to raise). Total:
+    returns a verdict for every input, including all-zero counters. *)
+val classify : ?kind:Descriptor.kind -> Counters.t -> Timing.breakdown -> t
+
+val pp : t Fmt.t

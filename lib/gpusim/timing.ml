@@ -28,6 +28,12 @@ type breakdown = {
   shared_cycles : float;
   l2_cycles : float;
   dram_cycles : float;
+  l3_cycles : float;
+      (** informational: the share of [dram_cycles] served by a last-level
+          cache (CPU targets only; always [0.] on GPUs). Not an
+          independent roofline term — it is already included in
+          [dram_cycles] — but lets attribution distinguish L3-resident
+          working sets from true DRAM streaming. *)
   latency_cycles : float;
   occupancy : Occupancy.result;
   utilization : float;  (** grid-tail / partial-wave utilization *)
@@ -166,6 +172,7 @@ let estimate (t : Descriptor.t) ~(demand : demand_source) (launch : Exec.launch_
     shared_cycles;
     l2_cycles;
     dram_cycles;
+    l3_cycles = 0.;
     latency_cycles;
     occupancy = occ;
     utilization;
@@ -174,6 +181,24 @@ let estimate (t : Descriptor.t) ~(demand : demand_source) (launch : Exec.launch_
     seconds;
   }
 
+(* The independent roofline terms, named. [cycles] is their maximum, so
+   the head of the list sorted by value is the limiting resource; l3 is
+   deliberately absent (it is a refinement of dram, not a term). *)
+let terms (b : breakdown) =
+  [
+    ("issue", b.issue_cycles);
+    ("fp32", b.fp32_cycles);
+    ("fp64", b.fp64_cycles);
+    ("int", b.int_cycles);
+    ("sfu", b.sfu_cycles);
+    ("lsu", b.lsu_cycles);
+    ("l1", b.l1_cycles);
+    ("shared", b.shared_cycles);
+    ("l2", b.l2_cycles);
+    ("dram", b.dram_cycles);
+    ("latency", b.latency_cycles);
+  ]
+
 let pp_breakdown ppf b =
   Fmt.pf ppf
     "@[<v>cycles       : %.0f (util %.2f, occ %.2f [%s], %d blk/SM)@,\
@@ -181,10 +206,10 @@ let pp_breakdown ppf b =
      fp32/fp64    : %.0f / %.0f@,\
      int/sfu      : %.0f / %.0f@,\
      lsu/l1/shmem : %.0f / %.0f / %.0f@,\
-     l2/dram      : %.0f / %.0f@,\
+     l2/dram      : %.0f / %.0f (l3-served %.0f)@,\
      latency      : %.0f@,\
      time         : %.6f s@]"
     b.cycles b.utilization b.occupancy.Occupancy.occupancy b.occupancy.Occupancy.limiter
     b.occupancy.Occupancy.blocks_per_sm b.issue_cycles b.fp32_cycles b.fp64_cycles b.int_cycles
-    b.sfu_cycles b.lsu_cycles b.l1_cycles b.shared_cycles b.l2_cycles b.dram_cycles
+    b.sfu_cycles b.lsu_cycles b.l1_cycles b.shared_cycles b.l2_cycles b.dram_cycles b.l3_cycles
     b.latency_cycles b.seconds

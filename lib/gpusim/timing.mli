@@ -22,6 +22,10 @@ type breakdown = {
   shared_cycles : float;
   l2_cycles : float;
   dram_cycles : float;
+  l3_cycles : float;
+      (** share of [dram_cycles] served by a last-level cache (CPU
+          targets; [0.] on GPUs). Informational — already included in
+          [dram_cycles], never an independent roofline term. *)
   latency_cycles : float;
   occupancy : Occupancy.result;
   utilization : float;  (** last-wave block-slot utilization *)
@@ -42,4 +46,10 @@ type demand_source = {
 exception Infeasible of string
 
 val estimate : Descriptor.t -> demand:demand_source -> Exec.launch_result -> breakdown
+
+(** The independent roofline terms as [(name, cycles)] pairs —
+    [cycles] is their maximum. Single source of truth for "what limits
+    this launch" consumers (profiler, bottleneck classifier). *)
+val terms : breakdown -> (string * float) list
+
 val pp_breakdown : breakdown Fmt.t

@@ -1,0 +1,285 @@
+(** Named performance baselines and the regression comparator.
+
+    A baseline is a snapshot of the history reduced to medians: for
+    every (bench, kernel, target, config) key, the median simulated
+    seconds over however many entries the history holds for it. The
+    comparator reduces a fresh batch of entries the same way and
+    classifies each shared key as improved / regressed / unchanged
+    against a multiplicative noise threshold; keys present on only one
+    side are reported separately ([added] / [missing]) and never gate.
+
+    The thresholds are symmetric by construction — [Regressed] iff
+    [ratio > 1 + noise], [Improved] iff [ratio < 1 / (1 + noise)] — so
+    swapping baseline and current exactly swaps the two verdicts, and a
+    run compared against itself is always [Unchanged]. Both properties
+    are pinned by qcheck tests. *)
+
+module Json = Pgpu_trace.Json
+
+let ( let* ) = Result.bind
+
+type key = { bench : string; kernel : string; target : string; config : string }
+type stat = { median_seconds : float; n : int; bottleneck : string }
+type t = { name : string; rev : string; entries : (key * stat) list }
+
+let compare_key (a : key) (b : key) =
+  match String.compare a.bench b.bench with
+  | 0 -> (
+      match String.compare a.kernel b.kernel with
+      | 0 -> (
+          match String.compare a.target b.target with
+          | 0 -> String.compare a.config b.config
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp_key ppf k = Fmt.pf ppf "%s/%s@@%s[%s]" k.bench k.kernel k.target k.config
+
+let median = function
+  | [] -> 0.
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let key_of_entry (e : History.entry) =
+  {
+    bench = e.History.bench;
+    kernel = e.History.kernel;
+    target = e.History.target;
+    config = e.History.config;
+  }
+
+let reduce (entries : History.entry list) : (key * stat) list =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (e : History.entry) ->
+      let k = key_of_entry e in
+      match Hashtbl.find_opt tbl k with
+      | Some es -> Hashtbl.replace tbl k (e :: es)
+      | None ->
+          Hashtbl.add tbl k [ e ];
+          order := k :: !order)
+    entries;
+  List.sort
+    (fun (a, _) (b, _) -> compare_key a b)
+    (List.rev_map
+       (fun k ->
+         let es = Hashtbl.find tbl k in
+         let seconds = List.map (fun (e : History.entry) -> e.History.seconds) es in
+         (* label of the median-nearest entry, i.e. the representative run *)
+         let med = median seconds in
+         let best =
+           List.fold_left
+             (fun acc (e : History.entry) ->
+               match acc with
+               | Some (a : History.entry)
+                 when Float.abs (a.History.seconds -. med) <= Float.abs (e.History.seconds -. med)
+                 ->
+                   acc
+               | _ -> Some e)
+             None es
+         in
+         let bottleneck =
+           match best with
+           | Some e -> Pgpu_gpusim.Bottleneck.label_name e.History.bottleneck.Pgpu_gpusim.Bottleneck.label
+           | None -> "unknown"
+         in
+         (k, { median_seconds = med; n = List.length es; bottleneck }))
+       !order)
+
+let snapshot ?(name = "baseline") (entries : History.entry list) : t =
+  let rev =
+    match entries with e :: _ -> e.History.rev | [] -> History.git_rev ()
+  in
+  { name; rev; entries = reduce entries }
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_t (b : t) =
+  Json.Obj
+    [
+      ("schema", Json.Int History.schema_version);
+      ("name", Json.Str b.name);
+      ("rev", Json.Str b.rev);
+      ( "entries",
+        Json.List
+          (List.map
+             (fun (k, s) ->
+               Json.Obj
+                 [
+                   ("bench", Json.Str k.bench);
+                   ("kernel", Json.Str k.kernel);
+                   ("target", Json.Str k.target);
+                   ("config", Json.Str k.config);
+                   ("median_seconds", Json.Float s.median_seconds);
+                   ("n", Json.Int s.n);
+                   ("bottleneck", Json.Str s.bottleneck);
+                 ])
+             b.entries) );
+    ]
+
+let save path (b : t) = Json.to_file path (json_of_t b)
+
+let of_json j =
+  let* name = History.str_field "name" j in
+  let* rev = History.str_field "rev" j in
+  let* entries =
+    match Json.member "entries" j with
+    | Some (Json.List es) ->
+        List.fold_left
+          (fun acc e ->
+            let* acc = acc in
+            let* bench = History.str_field "bench" e in
+            let* kernel = History.str_field "kernel" e in
+            let* target = History.str_field "target" e in
+            let* config = History.str_field "config" e in
+            let* median_seconds = History.num_field "median_seconds" e in
+            let* n = History.int_field "n" e in
+            let* bottleneck = History.str_field "bottleneck" e in
+            Ok (({ bench; kernel; target; config }, { median_seconds; n; bottleneck }) :: acc))
+          (Ok []) es
+        |> Result.map List.rev
+    | _ -> Error "missing field \"entries\""
+  in
+  Ok { name; rev; entries }
+
+let load path =
+  if not (Sys.file_exists path) then Error (Fmt.str "no baseline at %s" path)
+  else
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let* j = Json.of_string contents in
+    of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Comparator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = Improved | Regressed | Unchanged
+
+let verdict_name = function
+  | Improved -> "improved"
+  | Regressed -> "regressed"
+  | Unchanged -> "unchanged"
+
+type comparison = {
+  key : key;
+  baseline : stat;
+  current : stat;
+  ratio : float;  (** current / baseline median seconds *)
+  verdict : verdict;
+}
+
+type result = {
+  comparisons : comparison list;
+  missing : key list;  (** in the baseline, absent from the current batch *)
+  added : key list;  (** in the current batch, absent from the baseline *)
+}
+
+let default_noise = 0.02
+let default_min_seconds = 1e-9
+
+let judge ~noise ~min_seconds ~base ~cur =
+  if base < min_seconds && cur < min_seconds then (1., Unchanged)
+  else if base <= 0. then (Float.infinity, Regressed)
+  else
+    let ratio = cur /. base in
+    if ratio > 1. +. noise then (ratio, Regressed)
+    else if ratio < 1. /. (1. +. noise) then (ratio, Improved)
+    else (ratio, Unchanged)
+
+let compare_runs ?(noise = default_noise) ?(min_seconds = default_min_seconds) (base : t)
+    (entries : History.entry list) : result =
+  let current = reduce entries in
+  let comparisons =
+    List.filter_map
+      (fun (k, (bs : stat)) ->
+        match List.find_opt (fun (k', _) -> compare_key k k' = 0) current with
+        | None -> None
+        | Some (_, cs) ->
+            let ratio, verdict =
+              judge ~noise ~min_seconds ~base:bs.median_seconds ~cur:cs.median_seconds
+            in
+            Some { key = k; baseline = bs; current = cs; ratio; verdict })
+      base.entries
+  in
+  let missing =
+    List.filter_map
+      (fun (k, _) ->
+        if List.exists (fun (k', _) -> compare_key k k' = 0) current then None else Some k)
+      base.entries
+  in
+  let added =
+    List.filter_map
+      (fun (k, _) ->
+        if List.exists (fun (k', _) -> compare_key k k' = 0) base.entries then None else Some k)
+      current
+  in
+  { comparisons; missing; added }
+
+let regressions r = List.filter (fun c -> c.verdict = Regressed) r.comparisons
+let improvements r = List.filter (fun c -> c.verdict = Improved) r.comparisons
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_comparison c =
+  Json.Obj
+    [
+      ("bench", Json.Str c.key.bench);
+      ("kernel", Json.Str c.key.kernel);
+      ("target", Json.Str c.key.target);
+      ("config", Json.Str c.key.config);
+      ("baseline_seconds", Json.Float c.baseline.median_seconds);
+      ("current_seconds", Json.Float c.current.median_seconds);
+      ("ratio", Json.Float c.ratio);
+      ("verdict", Json.Str (verdict_name c.verdict));
+    ]
+
+let json_of_key k =
+  Json.Obj
+    [
+      ("bench", Json.Str k.bench);
+      ("kernel", Json.Str k.kernel);
+      ("target", Json.Str k.target);
+      ("config", Json.Str k.config);
+    ]
+
+let json_of_result (r : result) =
+  Json.Obj
+    [
+      ("comparisons", Json.List (List.map json_of_comparison r.comparisons));
+      ("missing", Json.List (List.map json_of_key r.missing));
+      ("added", Json.List (List.map json_of_key r.added));
+      ("regressions", Json.Int (List.length (regressions r)));
+      ("improvements", Json.Int (List.length (improvements r)));
+    ]
+
+let pp_comparison ppf c =
+  Fmt.pf ppf "%-10s %a  %.6fs -> %.6fs  (x%.3f)" (verdict_name c.verdict) pp_key c.key
+    c.baseline.median_seconds c.current.median_seconds c.ratio
+
+let pp_result ppf (r : result) =
+  let reg = regressions r and imp = improvements r in
+  Fmt.pf ppf "%d compared: %d regressed, %d improved, %d unchanged" (List.length r.comparisons)
+    (List.length reg) (List.length imp)
+    (List.length r.comparisons - List.length reg - List.length imp);
+  if r.missing <> [] then Fmt.pf ppf "; %d missing" (List.length r.missing);
+  if r.added <> [] then Fmt.pf ppf "; %d new" (List.length r.added);
+  List.iter
+    (fun c -> if c.verdict <> Unchanged then Fmt.pf ppf "@.  %a" pp_comparison c)
+    r.comparisons

@@ -1,0 +1,52 @@
+(** Cross-target performance report over the run history: per-target
+    speedup tables (one row per bench/kernel, one column per
+    configuration, speedups vs the ["untuned"] reference), a
+    bottleneck breakdown per target, an optional baseline comparison
+    and an optional embedded bench summary. Same structure rendered as
+    text, JSON, or a self-contained HTML dashboard. *)
+
+module Json = Pgpu_trace.Json
+module Bottleneck = Pgpu_gpusim.Bottleneck
+
+type config_cell = {
+  config : string;
+  seconds : float;  (** median simulated kernel seconds *)
+  speedup : float;  (** reference config seconds / this config seconds *)
+  n : int;  (** samples behind the median *)
+}
+
+type kernel_row = {
+  bench : string;
+  kernel : string;
+  cells : config_cell list;
+  best_config : string;  (** fastest configuration *)
+  bottleneck : Bottleneck.t;  (** of the best configuration's representative run *)
+  occupancy : float;
+  alternative : int option;
+}
+
+type target_section = {
+  target : string;
+  reference : string;  (** config the speedups are relative to *)
+  configs : string list;
+  rows : kernel_row list;
+  bottlenecks : (string * int) list;  (** label -> kernel count *)
+}
+
+type t = {
+  n_entries : int;
+  revs : string list;
+  envs : string list;
+  sections : target_section list;
+  baseline : (Baseline.t * Baseline.result) option;
+  summary : Json.t option;
+}
+
+(** Assemble the report; when [baseline] is given the entries are also
+    compared against it (with default comparator thresholds). *)
+val build : ?baseline:Baseline.t -> ?summary:Json.t -> History.entry list -> t
+
+val pp : t Fmt.t
+val to_string : t -> string
+val to_json : t -> Json.t
+val to_html : t -> string

@@ -27,6 +27,7 @@ type launch_record = {
   result : Exec.launch_result;
   stats : Backend.kernel_stats;
   breakdown : Timing.breakdown;
+  bottleneck : Bottleneck.t;  (** attribution over [breakdown] + counters *)
   seconds : float;
 }
 
@@ -392,6 +393,19 @@ let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
                     Json.Float breakdown.Timing.occupancy.Pgpu_target.Occupancy.occupancy );
                 ]
               ("kernel:" ^ name);
+            let bottleneck =
+              Bottleneck.classify ~kind:st.config.target.Descriptor.kind
+                result.Exec.counters breakdown
+            in
+            Tracer.instant_at st.config.tracer ~cat:"bottleneck" ~ts:t0
+              ~args:
+                [
+                  ("kernel", Json.Str name);
+                  ("label", Json.Str (Bottleneck.label_name bottleneck.Bottleneck.label));
+                  ("limiter", Json.Str bottleneck.Bottleneck.limiter);
+                  ("headroom", Json.Float bottleneck.Bottleneck.headroom);
+                ]
+              ("bottleneck:" ^ name);
             st.records <-
               {
                 kernel = name;
@@ -400,6 +414,7 @@ let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
                 result;
                 stats;
                 breakdown;
+                bottleneck;
                 seconds = breakdown.Timing.seconds;
               }
               :: st.records

@@ -21,6 +21,7 @@ type launch_record = {
   result : Exec.launch_result;
   stats : Backend.kernel_stats;
   breakdown : Timing.breakdown;
+  bottleneck : Bottleneck.t;  (** attribution over [breakdown] + counters *)
   seconds : float;
 }
 

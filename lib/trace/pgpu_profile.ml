@@ -15,6 +15,7 @@ module Timing = Pgpu_gpusim.Timing
 module Exec = Pgpu_gpusim.Exec
 module Backend = Pgpu_target.Backend
 module Occupancy = Pgpu_target.Occupancy
+module Bottleneck = Pgpu_gpusim.Bottleneck
 module Json = Pgpu_trace.Json
 
 type kernel_profile = {
@@ -38,6 +39,8 @@ type kernel_profile = {
   lsu_utilization : float;
   fma_utilization : float;
   bound : string;  (** the roofline resource that limits the kernel *)
+  bottleneck : Bottleneck.t;  (** attribution of the dominant launch *)
+  cycles : float;  (** simulated device cycles of the dominant launch *)
   counters : Counters.t;  (** aggregated over all launches *)
 }
 
@@ -46,22 +49,10 @@ type report = { composite_seconds : float; kernels : kernel_profile list }
 (** Name of the timing-model resource with the largest cycle count —
     what Nsight would call the limiting pipe. *)
 let bound_name (b : Timing.breakdown) =
-  let resources =
-    [
-      ("issue", b.Timing.issue_cycles);
-      ("fp32", b.Timing.fp32_cycles);
-      ("fp64", b.Timing.fp64_cycles);
-      ("int", b.Timing.int_cycles);
-      ("sfu", b.Timing.sfu_cycles);
-      ("lsu", b.Timing.lsu_cycles);
-      ("l1", b.Timing.l1_cycles);
-      ("shared", b.Timing.shared_cycles);
-      ("l2", b.Timing.l2_cycles);
-      ("dram", b.Timing.dram_cycles);
-      ("latency", b.Timing.latency_cycles);
-    ]
-  in
-  fst (List.fold_left (fun (bn, bc) (n, c) -> if c > bc then (n, c) else (bn, bc)) ("issue", -1.) resources)
+  fst
+    (List.fold_left
+       (fun (bn, bc) (n, c) -> if c > bc then (n, c) else (bn, bc))
+       ("issue", -1.) (Timing.terms b))
 
 let of_records (records : Runtime.launch_record list) : kernel_profile list =
   let names =
@@ -116,6 +107,8 @@ let of_records (records : Runtime.launch_record list) : kernel_profile list =
         lsu_utilization = b.Timing.lsu_utilization;
         fma_utilization = b.Timing.fma_utilization;
         bound = bound_name b;
+        bottleneck = d.Runtime.bottleneck;
+        cycles = b.Timing.cycles;
         counters;
       })
     names
@@ -145,6 +138,7 @@ let pp_kernel ~composite ppf (k : kernel_profile) =
     k.occupancy_limiter k.blocks_per_sm;
   line "Grid Utilization" "%.1f%%" (100. *. k.utilization);
   line "Limiting Resource" "%s" k.bound;
+  line "Bottleneck" "%a" Bottleneck.pp k.bottleneck;
   (* the Table II counter set *)
   line "LSU Utilization" "%.0f%%" (100. *. k.lsu_utilization);
   line "FMA Utilization" "%.0f%%" (100. *. k.fma_utilization);
@@ -198,6 +192,10 @@ let json_of_kernel (k : kernel_profile) : Json.t =
       ("lsu_utilization", Json.Float k.lsu_utilization);
       ("fma_utilization", Json.Float k.fma_utilization);
       ("bound", Json.Str k.bound);
+      ("bottleneck", Json.Str (Bottleneck.label_name k.bottleneck.Bottleneck.label));
+      ("bottleneck_limiter", Json.Str k.bottleneck.Bottleneck.limiter);
+      ("bottleneck_headroom", Json.Float k.bottleneck.Bottleneck.headroom);
+      ("cycles", Json.Float k.cycles);
       ("l2_l1_read_bytes", Json.Float (Counters.l2_to_l1_read_bytes k.counters));
       ("l1_l2_write_bytes", Json.Float (Counters.l1_to_l2_write_bytes k.counters));
       ("dram_read_bytes", Json.Float (Counters.dram_read_bytes k.counters));

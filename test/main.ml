@@ -5,4 +5,5 @@ let () =
     @ Test_occupancy_props.suite @ Test_backend_golden.suite @ Test_cross_target.suite
     @ Test_retarget.suite @ Test_rodinia.suite @ Test_hecbench.suite
     @ Test_random_kernels.suite @ Test_trace.suite @ Test_trace_golden.suite
-    @ Test_cache.suite @ Test_analysis.suite @ Test_differential.suite @ Test_cpu.suite)
+    @ Test_cache.suite @ Test_analysis.suite @ Test_differential.suite @ Test_cpu.suite
+    @ Test_obs.suite)
