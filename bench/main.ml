@@ -43,6 +43,7 @@ let write_baseline = flag_value "--write-baseline"
 let gate_enabled = Array.exists (String.equal "--gate") Sys.argv
 let repeats = match flag_value "--repeats" with Some r -> int_of_string r | None -> 1
 let gate_failed = ref false
+let harness_t0 = Unix.gettimeofday ()
 
 (* every experiment's JSON, accumulated for summary.json *)
 let summaries : (string * Json.t) list ref = ref []
@@ -70,6 +71,7 @@ let write_summary () =
              ("rev", Json.Str (O.History.git_rev ()));
              ("env", Json.Str (O.History.env_fingerprint ()));
              ("quick", Json.Bool quick);
+             ("wall_seconds", Json.Float (Unix.gettimeofday () -. harness_t0));
              ("experiments", Json.Obj !summaries);
            ]);
       Fmt.pr "[summary written to %s]@." path
@@ -119,6 +121,14 @@ let cpu () =
   heading "CPU retargeting (barrier-fission backend)";
   let benches = if quick then benches () else P.Rodinia.all @ P.Hecbench.all in
   write_metrics "cpu" (E.json_of_cpu_compare (E.cpu_compare ~benches ~jobs:2 ()))
+
+let enginebench () =
+  heading "Execution engines: compiled (slot-indexed closures) vs interp (tree-walker)";
+  (* always the quick subset: the experiment compares host wall-clock,
+     not simulated time, so it should stay cheap enough for CI; raises
+     on divergence or a compiled slowdown (the smoke assertion) *)
+  write_metrics "enginebench"
+    (E.json_of_engine_bench (E.engine_bench ~benches:(E.quick_benches ()) ()))
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: design choices called out in DESIGN.md                   *)
@@ -309,6 +319,7 @@ let all () =
   fig17 ();
   hipify ();
   cpu ();
+  enginebench ();
   ablation ();
   cachebench ();
   micro ()
@@ -328,6 +339,7 @@ let () =
       ("fig17", fig17);
       ("hipify", hipify);
       ("cpu", cpu);
+      ("enginebench", enginebench);
       ("ablation", ablation);
       ("cachebench", cachebench);
       ("gate", gate);

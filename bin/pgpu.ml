@@ -146,6 +146,17 @@ let jobs_arg =
           "Domains used for parallel candidate expansion and, on CPU targets, for \
            domain-parallel block execution (default 1: sequential).")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun e -> (P.Engine.to_string e, e)) P.Engine.all)) P.Engine.default
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Kernel execution engine: $(b,compiled) (slot-indexed closure kernels, the \
+           default) or $(b,interp) (the tree-walking reference interpreter). The two are \
+           bit-identical in outputs, counters and TDO choices; compiled is several times \
+           faster in host wall-clock.")
+
 let make_cache no_cache dir = if no_cache then P.Cache.disabled else P.Cache.create ?dir ()
 
 let write_cache_stats cache path =
@@ -202,12 +213,12 @@ let config_desc ~coarsen ~tune =
       (if tune then "tdo" else "fixed")
       (String.concat ";" (List.map (fun (b, t) -> Fmt.str "%d,%d" b t) coarsen))
 
-let record_history ~obs_dir ~bench ~config ~target (r : P.run_result) =
+let record_history ~obs_dir ?host_seconds ~bench ~config ~target (r : P.run_result) =
   Option.iter
     (fun dir ->
       let entries =
-        P.History.entries_of_run ~bench ~config ~target ~composite_seconds:r.P.composite_seconds
-          r.P.records
+        P.History.entries_of_run ?host_seconds ~bench ~config ~target
+          ~composite_seconds:r.P.composite_seconds r.P.records
       in
       P.History.append ~dir entries;
       Fmt.pr "%d run record(s) appended to %s@." (List.length entries) (P.History.file ~dir))
@@ -267,17 +278,19 @@ let print_run_summary (r : P.run_result) =
 
 let run_cmd =
   let run () file target no_opt coarsen tune choice args trace metrics cache_dir no_cache
-      cache_stats jobs obs_dir =
+      cache_stats jobs engine obs_dir =
     with_tracer trace metrics @@ fun tracer ->
     let cache = make_cache no_cache cache_dir in
+    let t0 = Unix.gettimeofday () in
     let c =
       P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tracer ~cache ~jobs ~target
         ~source:(read_file file) ()
     in
-    let r = P.run ~tune ~fixed_choice:choice ~jobs ~tracer ~cache c ~args in
+    let r = P.run ~tune ~fixed_choice:choice ~jobs ~tracer ~cache ~engine c ~args in
+    let host_seconds = Unix.gettimeofday () -. t0 in
     write_cache_stats cache cache_stats;
     print_run_summary r;
-    record_history ~obs_dir
+    record_history ~obs_dir ~host_seconds
       ~bench:(Filename.remove_extension (Filename.basename file))
       ~config:(config_desc ~coarsen ~tune) ~target r;
     0
@@ -287,7 +300,7 @@ let run_cmd =
     Term.(
       const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
       $ choice_arg $ args_arg $ trace_arg $ metrics_arg $ cache_dir_arg $ no_cache_arg
-      $ cache_stats_arg $ jobs_arg $ obs_dir_arg)
+      $ cache_stats_arg $ jobs_arg $ engine_arg $ obs_dir_arg)
 
 (* --- bench --- *)
 
@@ -314,7 +327,7 @@ let bench_cmd =
              choice/output identity as JSON.")
   in
   let run () name target no_opt coarsen tune verify perf args trace metrics cache_dir no_cache
-      cache_stats jobs cold_warm obs_dir =
+      cache_stats jobs engine cold_warm obs_dir =
     with_tracer trace metrics @@ fun tracer ->
     let b =
       try P.Rodinia.find name with Failure _ -> P.Hecbench.find name
@@ -328,13 +341,16 @@ let bench_cmd =
     else begin
       let cache = make_cache no_cache cache_dir in
       let args = if args = [] then None else Some args in
+      let t0 = Unix.gettimeofday () in
       let r =
         P.run_rodinia ~verify ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tune ~perf
-          ~tracer ~cache ~jobs ~target ?args b
+          ~tracer ~cache ~jobs ~engine ~target ?args b
       in
+      let host_seconds = Unix.gettimeofday () -. t0 in
       write_cache_stats cache cache_stats;
       print_run_summary r;
-      record_history ~obs_dir ~bench:name ~config:(config_desc ~coarsen ~tune) ~target r;
+      record_history ~obs_dir ~host_seconds ~bench:name ~config:(config_desc ~coarsen ~tune)
+        ~target r;
       if verify then Fmt.pr "outputs verified against the CPU reference.@.";
       0
     end
@@ -344,7 +360,7 @@ let bench_cmd =
     Term.(
       const run $ setup_logs_t $ name_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
       $ verify_arg $ perf_arg $ args_arg $ trace_arg $ metrics_arg $ cache_dir_arg
-      $ no_cache_arg $ cache_stats_arg $ jobs_arg $ cold_warm_arg $ obs_dir_arg)
+      $ no_cache_arg $ cache_stats_arg $ jobs_arg $ engine_arg $ cold_warm_arg $ obs_dir_arg)
 
 (* --- profile --- *)
 
@@ -352,13 +368,13 @@ let profile_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
   in
-  let run () file target no_opt coarsen tune choice args trace metrics as_json =
+  let run () file target no_opt coarsen tune choice args trace metrics engine as_json =
     with_tracer trace metrics @@ fun tracer ->
     let c =
       P.compile ~optimize:(not no_opt) ~specs:(specs_of coarsen) ~tracer ~target
         ~source:(read_file file) ()
     in
-    let r = P.run ~tune ~fixed_choice:choice ~tracer c ~args in
+    let r = P.run ~tune ~fixed_choice:choice ~tracer ~engine c ~args in
     let report = P.Profile.of_run ~composite_seconds:r.P.composite_seconds r.P.records in
     if as_json then
       Fmt.pr "%s@." (P.Trace.Json.to_string_pretty (P.Profile.json_of_report report))
@@ -373,7 +389,7 @@ let profile_cmd =
           traffic).")
     Term.(
       const run $ setup_logs_t $ file_arg $ target_arg $ no_opt_arg $ coarsen_arg $ tune_arg
-      $ choice_arg $ args_arg $ trace_arg $ metrics_arg $ json_arg)
+      $ choice_arg $ args_arg $ trace_arg $ metrics_arg $ engine_arg $ json_arg)
 
 (* --- check --- *)
 
@@ -407,7 +423,7 @@ let check_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON to $(docv).")
   in
-  let run () file bench target no_opt coarsen dynamic args json =
+  let run () file bench target no_opt coarsen dynamic args engine json =
     let source, bench_def =
       match (file, bench) with
       | _, Some name ->
@@ -479,7 +495,7 @@ let check_cmd =
           | args, _ -> args
         in
         try
-          ignore (P.run ~racecheck:rc c ~args);
+          ignore (P.run ~racecheck:rc ~engine c ~args);
           P.Check.diagnostics_of_racecheck rc
         with
         | P.Exec.Device_error m ->
@@ -520,7 +536,7 @@ let check_cmd =
           coarsened alternative), with an optional simulator-backed dynamic race detector.")
     Term.(
       const run $ setup_logs_t $ file_arg $ bench_arg $ target_arg $ no_opt_arg $ coarsen_arg
-      $ dynamic_arg $ args_arg $ json_arg)
+      $ dynamic_arg $ args_arg $ engine_arg $ json_arg)
 
 (* --- hipify --- *)
 

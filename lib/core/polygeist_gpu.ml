@@ -25,6 +25,7 @@ module Alternatives = Pgpu_transforms.Alternatives
 module Frontend = Pgpu_frontend.Frontend
 module Runtime = Pgpu_runtime.Runtime
 module Exec = Pgpu_gpusim.Exec
+module Engine = Pgpu_gpusim.Engine
 module Counters = Pgpu_gpusim.Counters
 module Timing = Pgpu_gpusim.Timing
 module Hipify = Pgpu_retarget.Hipify
@@ -144,8 +145,8 @@ type run_result = {
     timing-only sweeps on large grids
     @param jobs host domains for the CPU backend's block execution *)
 let run ?(tune = false) ?(fixed_choice = 0) ?(functional = true) ?(sample_blocks = 24)
-    ?(jobs = 1) ?(tracer = Tracer.disabled) ?(cache = Cache.disabled) ?racecheck (c : compiled)
-    ~(args : int list) : run_result =
+    ?(jobs = 1) ?(tracer = Tracer.disabled) ?(cache = Cache.disabled) ?racecheck
+    ?(engine = Engine.default) (c : compiled) ~(args : int list) : run_result =
   let config =
     {
       (Runtime.default_config c.target) with
@@ -157,6 +158,7 @@ let run ?(tune = false) ?(fixed_choice = 0) ?(functional = true) ?(sample_blocks
       tracer;
       cache;
       racecheck;
+      engine;
     }
   in
   let results, st = Runtime.run config c.modul (List.map (fun n -> Exec.UI n) args) in
@@ -187,7 +189,7 @@ let kernel_names (r : run_result) =
     depends on computed data. *)
 let run_rodinia ?(verify = false) ?(optimize = true) ?(specs = []) ?(tune = specs <> [])
     ?(perf = false) ?(tracer = Tracer.disabled) ?(cache = Cache.disabled) ?(jobs = 1)
-    ~(target : Descriptor.t) ?args (b : Bench_def.t) : run_result =
+    ?(engine = Engine.default) ~(target : Descriptor.t) ?args (b : Bench_def.t) : run_result =
   let args =
     Option.value args ~default:(if perf then b.Bench_def.perf_args else b.Bench_def.args)
   in
@@ -196,7 +198,7 @@ let run_rodinia ?(verify = false) ?(optimize = true) ?(specs = []) ?(tune = spec
   (* evaluation-scale runs sample fewer blocks per launch: the grids
      are uniform enough that 12 representative blocks extrapolate *)
   let sample_blocks = if perf then 12 else 24 in
-  let r = run ~tune ~functional ~sample_blocks ~jobs ~tracer ~cache c ~args in
+  let r = run ~tune ~functional ~sample_blocks ~jobs ~tracer ~cache ~engine c ~args in
   if verify then begin
     let expected = b.Bench_def.reference args in
     let got = List.hd r.outputs in

@@ -57,6 +57,8 @@ let core_machine (t : Descriptor.t) : Exec.machine =
     observed_threads = 1;
     shared_as_global = false;
     racecheck = None;
+    scratch = Array.make 64 0;
+    bank_counts = Array.make 64 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -108,10 +110,14 @@ type launch_result = {
     [env] must bind every free value of the kernel region; it is
     copied per core, so per-core binding of block indices never races.
     [jobs] bounds concurrent OCaml domains (the simulated core count
-    bounds the work split). Raises [Exec.Device_error] on the same
-    malformed-IR conditions as the lockstep interpreter. *)
-let launch (target : Descriptor.t) ~(jobs : int) ~(mode : Exec.mode) ~(env : Exec.env)
-    (p : Instr.instr) : launch_result =
+    bounds the work split). When [compiled] is given, each core drives
+    the slot-indexed closure kernel instead of the tree-walker; the
+    shared [env] is then only read (instantiation loads kernel
+    arguments into per-core register files), so no copy is needed.
+    Raises [Exec.Device_error] on the same malformed-IR conditions as
+    the lockstep interpreter. *)
+let launch (target : Descriptor.t) ?(compiled : Compile.t option) ~(jobs : int)
+    ~(mode : Exec.mode) ~(env : Exec.env) (p : Instr.instr) : launch_result =
   match p with
   | Instr.Parallel { level = Instr.Blocks; ivs; ubs; body; _ } ->
       let dims = List.map (fun u -> Exec.ui_of (Exec.lookup env u)) ubs in
@@ -144,17 +150,24 @@ let launch (target : Descriptor.t) ~(jobs : int) ~(mode : Exec.mode) ~(env : Exe
       let run_core (core, blocks) =
         let m = core_machine target in
         m.Exec.counters.Counters.launches <- 0.;
-        let cenv = Hashtbl.copy env in
-        let ctx =
-          { Exec.m; env = cenv; nlanes = 1; ws = target.Descriptor.warp_size; sm = 0 }
-        in
-        List.iter
-          (fun lb ->
-            let coords = [ lb mod dx; lb / dx mod dy; lb / (dx * dy) ] in
-            List.iteri (fun k (iv : Value.t) -> Exec.bind cenv iv (Exec.UI (List.nth coords k))) ivs;
-            ignore (Exec.exec_block ctx (Exec.full_mask ctx) body);
-            m.Exec.counters.Counters.blocks <- m.Exec.counters.Counters.blocks +. 1.)
-          blocks;
+        (match compiled with
+        | Some ck ->
+            let inst = Compile.instantiate ck m ~env in
+            List.iter (fun lb -> Compile.run_block inst ~sm:0 lb) blocks
+        | None ->
+            let cenv = Hashtbl.copy env in
+            let ctx =
+              { Exec.m; env = cenv; nlanes = 1; ws = target.Descriptor.warp_size; sm = 0 }
+            in
+            List.iter
+              (fun lb ->
+                let coords = [ lb mod dx; lb / dx mod dy; lb / (dx * dy) ] in
+                List.iteri
+                  (fun k (iv : Value.t) -> Exec.bind cenv iv (Exec.UI (List.nth coords k)))
+                  ivs;
+                ignore (Exec.exec_block ctx (Exec.full_mask ctx) body);
+                m.Exec.counters.Counters.blocks <- m.Exec.counters.Counters.blocks +. 1.)
+              blocks);
         ignore core;
         (m.Exec.counters, m.Exec.observed_threads)
       in

@@ -20,11 +20,14 @@ type launch_result = {
 }
 
 (** Launch a grid-level parallel across the target's cores. [env] must
-    bind every free value of the kernel region; it is copied per core.
-    [jobs] bounds concurrent OCaml domains. Raises [Exec.Device_error]
-    on malformed IR, like the lockstep interpreter. *)
+    bind every free value of the kernel region; it is copied per core
+    (or only read, when [compiled] routes each core through the
+    slot-indexed closure kernel instead of the tree-walker). [jobs]
+    bounds concurrent OCaml domains. Raises [Exec.Device_error] on
+    malformed IR, like the lockstep interpreter. *)
 val launch :
   Pgpu_target.Descriptor.t ->
+  ?compiled:Compile.t ->
   jobs:int ->
   mode:Exec.mode ->
   env:Exec.env ->

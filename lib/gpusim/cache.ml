@@ -1,16 +1,43 @@
 (** Set-associative LRU cache model, used for the per-SM L1 caches and
-    the device-wide L2. *)
+    the device-wide L2.
+
+    The tag store is organised per set and materialised lazily: a
+    simulated L2 can have hundreds of thousands of lines, and a run
+    frequently touches only a small fraction of its sets, so [create]
+    allocates one pointer per set rather than the full arrays.
+    Invalidation is epoch-based, making [reset] O(1) per launch
+    instead of O(cache size). Both encodings are behaviourally
+    identical to an eagerly-cleared tag store ([tag = -1],
+    [last_use = 0]), so hit/miss sequences — and therefore every
+    simulated counter — are unchanged. *)
 
 type t = {
   sets : int;
   ways : int;
   line_bytes : int;
-  tags : int array;  (** sets * ways; -1 = invalid *)
-  last_use : int array;
+  line_shift : int;  (** log2 of [line_bytes] when it is a power of two, else -1 *)
+  set_data : int array array;
+      (** per set, [3 * ways] ints — tags at [w], last-use ticks at
+          [ways + w], epoch stamps at [2 * ways + w]; [[||]] until the
+          set is first touched. A way is resident only when its stamp
+          equals [epoch]. *)
+  mutable epoch : int;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable last_line : int;
+      (** one-entry probe shortcut: the line of the most recent hit or
+          fill, resident at way [last_w] of [last_data]. Only an
+          insertion can evict a line, and every insertion rewrites
+          [last_line], so a matching probe is a hit without the set
+          scan. -1 = invalid (lines are non-negative). *)
+  mutable last_data : int array;
+  mutable last_w : int;
 }
+
+let log2_pow2 n =
+  let rec go n k = if n = 1 then k else if n land 1 = 1 then -1 else go (n lsr 1) (k + 1) in
+  if n <= 0 then -1 else go n 0
 
 let create ~size_bytes ~line_bytes ~ways =
   let lines = max ways (size_bytes / line_bytes) in
@@ -19,16 +46,20 @@ let create ~size_bytes ~line_bytes ~ways =
     sets;
     ways;
     line_bytes;
-    tags = Array.make (sets * ways) (-1);
-    last_use = Array.make (sets * ways) 0;
+    line_shift = log2_pow2 line_bytes;
+    set_data = Array.make sets [||];
+    epoch = 1;
     tick = 0;
     hits = 0;
     misses = 0;
+    last_line = -1;
+    last_data = [||];
+    last_w = 0;
   }
 
 type snapshot = {
-  s_tags : int array;
-  s_last_use : int array;
+  s_data : int array array;
+  s_epoch : int;
   s_tick : int;
   s_hits : int;
   s_misses : int;
@@ -39,50 +70,101 @@ type snapshot = {
     the committed execution would otherwise see. *)
 let snapshot t =
   {
-    s_tags = Array.copy t.tags;
-    s_last_use = Array.copy t.last_use;
+    s_data = Array.map (fun d -> if Array.length d = 0 then [||] else Array.copy d) t.set_data;
+    s_epoch = t.epoch;
     s_tick = t.tick;
     s_hits = t.hits;
     s_misses = t.misses;
   }
 
 let restore t s =
-  Array.blit s.s_tags 0 t.tags 0 (Array.length s.s_tags);
-  Array.blit s.s_last_use 0 t.last_use 0 (Array.length s.s_last_use);
+  Array.iteri
+    (fun i d -> t.set_data.(i) <- (if Array.length d = 0 then [||] else Array.copy d))
+    s.s_data;
+  t.epoch <- s.s_epoch;
   t.tick <- s.s_tick;
   t.hits <- s.s_hits;
-  t.misses <- s.s_misses
+  t.misses <- s.s_misses;
+  t.last_line <- -1;
+  t.last_data <- [||];
+  t.last_w <- 0
 
 (** Probe the cache with a byte address; allocates on miss (allocate-on-
     read-and-write policy). Returns [true] on hit. *)
 let access t addr =
   t.tick <- t.tick + 1;
-  let line = addr / t.line_bytes in
-  let set = line mod t.sets in
-  let base = set * t.ways in
-  let rec find w = if w = t.ways then None else if t.tags.(base + w) = line then Some w else find (w + 1) in
-  match find 0 with
-  | Some w ->
-      t.last_use.(base + w) <- t.tick;
+  let line = if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.line_bytes in
+  if line = t.last_line then begin
+    (* resident at [last_w] of [last_data]: same transition as a scan hit *)
+    t.last_data.(t.ways + t.last_w) <- t.tick;
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    let set = line mod t.sets in
+    let ways = t.ways in
+    let d =
+      let d = t.set_data.(set) in
+      if Array.length d > 0 then d
+      else begin
+        (* stamps start at 0 < epoch, so every way starts invalid *)
+        let d = Array.make (3 * ways) 0 in
+        t.set_data.(set) <- d;
+        d
+      end
+    in
+    let ep = t.epoch in
+    let stamp_off = 2 * ways in
+    let rec find w =
+      if w = ways then -1
+      else if Array.unsafe_get d w = line && Array.unsafe_get d (stamp_off + w) = ep then w
+      else find (w + 1)
+    in
+    let w = find 0 in
+    if w >= 0 then begin
+      d.(ways + w) <- t.tick;
       t.hits <- t.hits + 1;
+      t.last_line <- line;
+      t.last_data <- d;
+      t.last_w <- w;
       true
-  | None ->
+    end
+    else begin
       t.misses <- t.misses + 1;
-      (* evict LRU way *)
+      (* evict the LRU way; a stale-epoch way counts as free
+         (last_use 0, matching the eager-clear encoding, where ties go
+         to the lowest index) *)
       let victim = ref 0 in
-      for w = 1 to t.ways - 1 do
-        if t.last_use.(base + w) < t.last_use.(base + !victim) then victim := w
+      let vu = ref (if d.(stamp_off) = ep then d.(ways) else 0) in
+      for w = 1 to ways - 1 do
+        let u =
+          if Array.unsafe_get d (stamp_off + w) = ep then Array.unsafe_get d (ways + w) else 0
+        in
+        if u < !vu then begin
+          victim := w;
+          vu := u
+        end
       done;
-      t.tags.(base + !victim) <- line;
-      t.last_use.(base + !victim) <- t.tick;
+      let v = !victim in
+      d.(v) <- line;
+      d.(ways + v) <- t.tick;
+      d.(stamp_off + v) <- ep;
+      t.last_line <- line;
+      t.last_data <- d;
+      t.last_w <- v;
       false
+    end
+  end
 
+(* O(1): invalidates every way by advancing the epoch *)
 let reset t =
-  Array.fill t.tags 0 (Array.length t.tags) (-1);
-  Array.fill t.last_use 0 (Array.length t.last_use) 0;
+  t.epoch <- t.epoch + 1;
   t.tick <- 0;
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.last_line <- -1;
+  t.last_data <- [||];
+  t.last_w <- 0
 
 let hit_rate t =
   let total = t.hits + t.misses in

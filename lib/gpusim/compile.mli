@@ -1,0 +1,50 @@
+(** Compiled execution engine: slot-indexed closure kernels.
+
+    One-time lowering from a verified kernel region (the grid-level
+    [Parallel]) to a flat executable form that replaces the
+    tree-walking interpreter on the hot path:
+
+    - every SSA value is numbered into a dense integer {e slot} backed
+      by preallocated unboxed register files ([int array] /
+      [float array] / [Memory.buf array]), one bank for uniform
+      scalars and one per-lane bank for varying values — no hashtable
+      environment, no [rv] boxing, no per-operation array allocation;
+    - the region tree is flattened into arrays of OCaml closures
+      (threaded code) executed by an indexed loop, with uniformity of
+      every value and every branch decided once at compile time;
+    - the performance model ({!Exec.count_op}, {!Exec.global_request},
+      {!Exec.shared_request}) is invoked from the closures with exactly
+      the interpreter's event order, so outputs, all counters, race
+      reports and TDO choices are bit-identical to [--engine interp].
+
+    Compilation is per (region, target); compiled kernels are cached
+    by the runtime keyed on the region's structural hash. *)
+
+open Pgpu_ir
+
+(** A compiled kernel: closure arrays plus the slot-bank sizes needed
+    to instantiate register files. Immutable and reusable across
+    launches and machines of the same target. *)
+type t
+
+(** Compile the grid-level parallel [p].
+    @raise Exec.Device_error when [p] is not a blocks-level parallel. *)
+val compile : Instr.instr -> t
+
+(** A compiled kernel bound to one machine and one launch environment:
+    register files allocated, kernel arguments loaded into their
+    slots, grid geometry resolved. *)
+type instance
+
+(** [instantiate ck m ~env] prepares [ck] to run blocks on [m]. [env]
+    must bind every free value of the kernel region; it is only read. *)
+val instantiate : t -> Exec.machine -> env:Exec.env -> instance
+
+(** Execute one block ([lb] is the linear block index) on the instance's
+    machine, accounting events to SM [sm]. Increments the machine's
+    block counter, exactly like the interpreter's per-block loop. *)
+val run_block : instance -> sm:int -> int -> unit
+
+(** Drop-in replacement for {!Exec.launch}: same sampling, counter
+    scoping, L1 reset, SM round-robin and race-detector hooks. *)
+val launch : Exec.machine -> mode:Exec.mode -> env:Exec.env -> t -> Exec.launch_result

@@ -1,0 +1,25 @@
+(** Execution engine selection.
+
+    Two engines run kernel regions on the simulated machines:
+
+    - {b compiled} (the default): [Compile] lowers the region once into
+      slot-indexed closures and every launch replays the compiled form;
+    - {b interp}: the original tree-walking interpreter in [Exec],
+      kept as the bit-exact reference the differential harness compares
+      the compiled engine against.
+
+    Both engines produce bit-identical outputs, counters and TDO
+    choices; the compiled engine is simply faster per launch. *)
+
+type t = Interp | Compiled
+
+let default = Compiled
+let all = [ Interp; Compiled ]
+let to_string = function Interp -> "interp" | Compiled -> "compiled"
+
+let of_string = function
+  | "interp" -> Ok Interp
+  | "compiled" -> Ok Compiled
+  | s -> Error (Fmt.str "unknown engine %S (expected interp or compiled)" s)
+
+let pp ppf t = Fmt.string ppf (to_string t)

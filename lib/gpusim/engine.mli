@@ -1,0 +1,14 @@
+(** Execution engine selection: the slot-indexed compiled engine (the
+    default) or the tree-walking reference interpreter. Both are
+    bit-identical in outputs, counters and TDO choices. *)
+
+type t = Interp | Compiled
+
+val default : t
+
+(** [Interp; Compiled] — the order CLI enums and benches present. *)
+val all : t list
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : t Fmt.t

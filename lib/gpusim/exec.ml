@@ -41,6 +41,11 @@ type machine = {
   mutable racecheck : Racecheck.t option;
       (** opt-in dynamic race detector; [None] (the default) keeps
           every instrumentation hook to a single match *)
+  scratch : int array;
+      (** per-machine scratch for the warp-request modelling (warps
+          have at most 64 lanes); lives here so machines owned by
+          different domains never share mutable state *)
+  bank_counts : int array;  (** per-bank distinct-word counters *)
 }
 
 let create_machine (target : Pgpu_target.Descriptor.t) =
@@ -56,6 +61,8 @@ let create_machine (target : Pgpu_target.Descriptor.t) =
     observed_threads = 1;
     shared_as_global = false;
     racecheck = None;
+    scratch = Array.make 64 0;
+    bank_counts = Array.make 64 0;
   }
 
 type machine_snapshot = {
@@ -83,9 +90,11 @@ let env_create () : env = Hashtbl.create 256
 let bind (env : env) (v : Value.t) rv = Hashtbl.replace env v.Value.id rv
 
 let lookup (env : env) (v : Value.t) =
-  match Hashtbl.find_opt env v.Value.id with
-  | Some rv -> rv
-  | None -> Pgpu_support.Util.failf "exec: unbound value %a" Value.pp v
+  (* [find] rather than [find_opt]: host loops resolve every operand
+     through here, and the option would be an allocation per lookup *)
+  match Hashtbl.find env v.Value.id with
+  | rv -> rv
+  | exception Not_found -> Pgpu_support.Util.failf "exec: unbound value %a" Value.pp v
 
 (** Lane masks with cached population statistics. *)
 type mask = { bits : bool array; active : int; warps : int }
@@ -135,11 +144,6 @@ let to_vf n = function
   | VI a -> Array.map float_of_int a
   | UB _ | VB _ -> invalid_arg "exec: buffer used as float"
 
-let to_ui = function
-  | UI x -> x
-  | UF x -> int_of_float x
-  | VI _ | VF _ | VB _ | UB _ -> invalid_arg "exec: expected uniform integer"
-
 let to_ub = function UB b -> b | _ -> invalid_arg "exec: expected uniform buffer"
 
 let to_vb n = function
@@ -188,38 +192,45 @@ let class_of_unop (ty : Types.t) (op : Ops.unop) =
 
 let sector_bytes = 32
 
-(* scratch buffer shared by the per-warp request modelling; warps have
-   at most 64 lanes *)
-let scratch = Array.make 64 0
-
-(** Collect the distinct values of [f addrs.(l)] over the active lanes
-    of one warp into [scratch]; returns their count. Sorting the (at
-    most 64) entries keeps this allocation-free. *)
-let distinct_into ctx f (addrs : int array) (mask : mask) lo hi =
-  ignore ctx;
+(** Collect the distinct values of [addrs.(l) lsr shift] over the
+    active lanes of one warp into the machine's scratch; returns their
+    count. Addresses are non-negative, so the shift is an exact
+    division by the (power-of-two) granule. Coalesced accesses arrive
+    already sorted: sortedness is detected during collection and the
+    insertion sort (at most 64 entries, allocation-free) only runs on
+    the shuffled minority. *)
+let distinct_shifted ctx shift (addrs : int array) (mask : mask) lo hi =
+  let scratch = ctx.m.scratch in
+  let bits = mask.bits in
   let n = ref 0 in
+  let sorted = ref true in
+  let prev = ref min_int in
   for l = lo to hi - 1 do
-    if mask.bits.(l) then begin
-      scratch.(!n) <- f addrs.(l);
+    if Array.unsafe_get bits l then begin
+      let v = Array.unsafe_get addrs l lsr shift in
+      if v < !prev then sorted := false;
+      prev := v;
+      Array.unsafe_set scratch !n v;
       incr n
     end
   done;
   let k = !n in
-  (* insertion sort: k <= 64 and inputs are often already sorted *)
-  for i = 1 to k - 1 do
-    let v = scratch.(i) in
-    let j = ref (i - 1) in
-    while !j >= 0 && scratch.(!j) > v do
-      scratch.(!j + 1) <- scratch.(!j);
-      decr j
+  if not !sorted then
+    for i = 1 to k - 1 do
+      let v = scratch.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && scratch.(!j) > v do
+        scratch.(!j + 1) <- scratch.(!j);
+        decr j
+      done;
+      scratch.(!j + 1) <- v
     done;
-    scratch.(!j + 1) <- v
-  done;
   (* compact duplicates *)
   let d = ref 0 in
   for i = 0 to k - 1 do
-    if i = 0 || scratch.(i) <> scratch.(!d - 1) then begin
-      scratch.(!d) <- scratch.(i);
+    let v = Array.unsafe_get scratch i in
+    if i = 0 || v <> Array.unsafe_get scratch (!d - 1) then begin
+      Array.unsafe_set scratch !d v;
       incr d
     end
   done;
@@ -231,14 +242,16 @@ let distinct_into ctx f (addrs : int array) (mask : mask) lo hi =
     write-through, no-allocate. *)
 let global_request ctx ~(is_store : bool) (addrs : int array) (mask : mask) lo hi =
   let c = ctx.m.counters in
-  let nsec_i = distinct_into ctx (fun a -> a / sector_bytes) addrs mask lo hi in
+  let scratch = ctx.m.scratch in
+  (* sector_bytes = 32 = 1 lsl 5 *)
+  let nsec_i = distinct_shifted ctx 5 addrs mask lo hi in
   let nsec = float_of_int nsec_i in
   if is_store then begin
     c.Counters.global_store_req <- c.Counters.global_store_req +. 1.;
     c.Counters.store_sectors <- c.Counters.store_sectors +. nsec;
     c.Counters.store_l2_sectors <- c.Counters.store_l2_sectors +. nsec;
     for i = 0 to nsec_i - 1 do
-      if not (Cache.access ctx.m.l2 (scratch.(i) * sector_bytes)) then
+      if not (Cache.access ctx.m.l2 (Array.unsafe_get scratch i * sector_bytes)) then
         c.Counters.l2_store_miss_sectors <- c.Counters.l2_store_miss_sectors +. 1.
     done
   end
@@ -246,31 +259,39 @@ let global_request ctx ~(is_store : bool) (addrs : int array) (mask : mask) lo h
     c.Counters.global_load_req <- c.Counters.global_load_req +. 1.;
     c.Counters.load_sectors <- c.Counters.load_sectors +. nsec;
     for i = 0 to nsec_i - 1 do
-      if not (Cache.access ctx.m.l1s.(ctx.sm) (scratch.(i) * sector_bytes)) then begin
+      if not (Cache.access ctx.m.l1s.(ctx.sm) (Array.unsafe_get scratch i * sector_bytes)) then begin
         c.Counters.l1_load_miss_sectors <- c.Counters.l1_load_miss_sectors +. 1.;
-        if not (Cache.access ctx.m.l2 (scratch.(i) * sector_bytes)) then
+        if not (Cache.access ctx.m.l2 (Array.unsafe_get scratch i * sector_bytes)) then
           c.Counters.l2_load_miss_sectors <- c.Counters.l2_load_miss_sectors +. 1.
       end
     done
   end
-
-(* per-bank distinct-word counters for the bank-conflict model *)
-let bank_counts = Array.make 64 0
 
 (** Model one warp-level shared-memory request with bank-conflict
     replays: the replay count is the maximum, over banks, of distinct
     32-bit words addressed in that bank. *)
 let shared_request ctx ~(is_store : bool) (addrs : int array) (mask : mask) lo hi =
   let c = ctx.m.counters in
+  let scratch = ctx.m.scratch and bank_counts = ctx.m.bank_counts in
   let banks = ctx.m.target.Pgpu_target.Descriptor.shmem_banks in
-  let nwords = distinct_into ctx (fun a -> a / 4) addrs mask lo hi in
+  let nwords = distinct_shifted ctx 2 addrs mask lo hi in
   Array.fill bank_counts 0 banks 0;
   let replays = ref 1 in
-  for i = 0 to nwords - 1 do
-    let b = scratch.(i) mod banks in
-    bank_counts.(b) <- bank_counts.(b) + 1;
-    if bank_counts.(b) > !replays then replays := bank_counts.(b)
-  done;
+  if banks land (banks - 1) = 0 then begin
+    let bm = banks - 1 in
+    for i = 0 to nwords - 1 do
+      let b = Array.unsafe_get scratch i land bm in
+      let n = Array.unsafe_get bank_counts b + 1 in
+      Array.unsafe_set bank_counts b n;
+      if n > !replays then replays := n
+    done
+  end
+  else
+    for i = 0 to nwords - 1 do
+      let b = scratch.(i) mod banks in
+      bank_counts.(b) <- bank_counts.(b) + 1;
+      if bank_counts.(b) > !replays then replays := bank_counts.(b)
+    done;
   if is_store then c.Counters.shared_store_req <- c.Counters.shared_store_req +. 1.
   else c.Counters.shared_load_req <- c.Counters.shared_load_req +. 1.;
   c.Counters.shared_transactions <- c.Counters.shared_transactions +. float_of_int !replays

@@ -1,0 +1,152 @@
+(** Vectorized SPMD execution of GPU kernels — the tree-walking
+    reference interpreter.
+
+    One GPU block is interpreted with *all its threads at once*: every
+    SSA value inside the thread-level parallel is either uniform or a
+    per-lane array, and divergent control flow is handled with lane
+    masks. Blocks of a grid are executed sequentially, optionally
+    sampled (with counter extrapolation) for large grids where only
+    timing is of interest.
+
+    This interface is the engine seam: the slot-indexed compiled
+    engine ({!Compile}) reuses the machine, mask, counting and
+    memory-request modelling exposed here, so both engines observe
+    exactly the same simulated events. *)
+
+open Pgpu_ir
+
+(** Runtime values: uniform scalars or per-lane vectors. *)
+type rv =
+  | UI of int
+  | UF of float
+  | UB of Memory.buf
+  | VI of int array
+  | VF of float array
+  | VB of Memory.buf array
+
+type machine = {
+  target : Pgpu_target.Descriptor.t;
+  alloc : Memory.allocator;
+  l2 : Cache.t;
+  l1s : Cache.t array;
+  mutable counters : Counters.t;
+  mutable next_sm : int;
+  mutable observed_threads : int;  (** threads/block seen by the last launch *)
+  mutable shared_as_global : bool;
+      (** AMD backend behaviour on shared-memory-heavy kernels: the
+          allocation is demoted to global memory (Section VII-D2) *)
+  mutable racecheck : Racecheck.t option;
+      (** opt-in dynamic race detector; [None] (the default) keeps
+          every instrumentation hook to a single match *)
+  scratch : int array;
+      (** per-machine scratch for the warp-request modelling (warps
+          have at most 64 lanes); lives here so machines owned by
+          different domains never share mutable state *)
+  bank_counts : int array;  (** per-bank distinct-word counters *)
+}
+
+val create_machine : Pgpu_target.Descriptor.t -> machine
+
+type machine_snapshot
+
+(** Save/restore the machine state that persists across launches
+    (allocator position, L2 contents, SM round-robin pointer), so
+    speculative executions — TDO trials — leave no trace on the timing
+    of the committed execution that follows. *)
+val snapshot_machine : machine -> machine_snapshot
+
+val restore_machine : machine -> machine_snapshot -> unit
+
+type env = (int, rv) Hashtbl.t
+
+val env_create : unit -> env
+val bind : env -> Value.t -> rv -> unit
+
+(** @raise Failure on an unbound value. *)
+val lookup : env -> Value.t -> rv
+
+(** Lane masks with cached population statistics. *)
+type mask = { bits : bool array; active : int; warps : int }
+
+type ctx = {
+  m : machine;
+  env : env;
+  nlanes : int;
+  ws : int;  (** warp size *)
+  sm : int;  (** SM executing the current block *)
+}
+
+val mk_mask : ctx -> bool array -> mask
+val full_mask : ctx -> mask
+
+(** Issue classes of the operation counters. *)
+type op_class = Cint | Cfp32 | Cfp64 | Csfu
+
+(** Count one issued operation over the active lanes of [mask]. *)
+val count_op : ctx -> mask -> op_class -> unit
+
+val class_of_binop : Types.t -> Ops.binop -> op_class
+val class_of_unop : Types.t -> Ops.unop -> op_class
+
+(** Model one warp-level global-memory request over lanes
+    [lo, hi) of [mask]: 32 B sector coalescing, L1/L2 walks, traffic
+    counters. Loads allocate in L1; stores are write-through,
+    no-allocate. *)
+val global_request : ctx -> is_store:bool -> int array -> mask -> int -> int -> unit
+
+(** Model one warp-level shared-memory request with bank-conflict
+    replays. *)
+val shared_request : ctx -> is_store:bool -> int array -> mask -> int -> int -> unit
+
+(** Masked vector memory access: computes per-lane addresses, performs
+    the functional load/store via [write], then models the per-warp
+    traffic (one warp instruction plus one request per active warp). *)
+val vec_access :
+  ctx ->
+  mask ->
+  is_store:bool ->
+  Memory.buf array ->
+  int array ->
+  (int -> Memory.buf -> int -> unit) ->
+  unit
+
+(** Uniform-scalar coercions (raise [Invalid_argument] on vectors). *)
+val ui_of : rv -> int
+
+val uf_of : rv -> float
+val to_ub : rv -> Memory.buf
+
+exception Device_error of string
+
+val device_fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type terminator = T_none | T_yield of rv list | T_yield_while of rv * rv list
+
+(** Execute a block under [mask]; returns the terminator data. *)
+val exec_block : ctx -> mask -> Instr.block -> terminator
+
+val exec_instr : ctx -> mask -> Instr.instr -> unit
+
+type launch_result = {
+  nblocks : int;
+  threads_per_block : int;
+  grid_dims : int list;
+  block_dims : int list;
+  counters : Counters.t;  (** delta for this launch, scaled to the full grid *)
+}
+
+(** How many blocks of the grid to execute functionally.
+    [`All] executes every block (correct outputs, slower); [`Sample k]
+    executes [k] representative blocks and extrapolates the counters —
+    outputs are only partially computed, which is what autotuning runs
+    use. *)
+type mode = [ `All | `Sample of int ]
+
+(** Dimensions of the first thread-level parallel reachable in the
+    block body, resolved through [env]. *)
+val block_dims_of : env -> Instr.block -> int list
+
+(** Launch the grid-level parallel [p] on machine [m]. The environment
+    must bind every free value of the kernel region (grid/block sizes,
+    device buffer pointers, scalar arguments). *)
+val launch : machine -> mode:mode -> env:env -> Instr.instr -> launch_result

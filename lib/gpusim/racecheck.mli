@@ -1,0 +1,54 @@
+(** Dynamic shared-memory race detection (the simulator's equivalent
+    of [compute-sanitizer --tool racecheck]).
+
+    Opt-in: the executors carry an optional detector and every hook is
+    a single [match] on [None] when disabled, so instrumentation is
+    free unless requested. When enabled, every shared-memory byte
+    address touched by a lane is recorded into per-address read/write
+    sets; a write to an address some {e other} lane wrote or read since
+    the last barrier — or a read of an address another lane wrote — is
+    a conflict. Sets reset on every scoped barrier (the epoch boundary)
+    and at the start of every block; conflicts are deduplicated at
+    32-byte sector granularity per op pair, so large grids produce
+    bounded reports. *)
+
+type conflict = {
+  ckind : [ `WW | `RW ];
+  addr : int;  (** byte address of the collision *)
+  sector : int;  (** [addr / 32] *)
+  block : int;  (** linear block index *)
+  epoch : int;  (** barrier epoch within the block *)
+  op1 : string;  (** earlier access *)
+  lane1 : int;
+  op2 : string;  (** later (conflicting) access *)
+  lane2 : int;
+}
+
+type t
+
+(** Conflicts beyond this many distinct (op pair, kind, sector) keys
+    are counted but not retained. *)
+val max_reported : int
+
+val create : unit -> t
+
+(** Label the memory operation subsequent {!record} calls belong to
+    (e.g. ["load %mem"]); both engines set it before every vector
+    access so conflict reports and dedup keys are engine-independent. *)
+val set_op : t -> string -> unit
+
+(** Record one lane touching one shared byte address. *)
+val record : t -> is_store:bool -> lane:int -> addr:int -> unit
+
+(** A scoped barrier: advance the epoch and forget the access sets. *)
+val barrier : t -> unit
+
+(** Start of a new block: epochs restart and access sets are dropped
+    (addresses are only comparable within one block). *)
+val new_block : t -> int -> unit
+
+(** Retained conflicts, oldest first. *)
+val conflicts : t -> conflict list
+
+(** All conflicts, including deduplicated/overflowed ones. *)
+val total_conflicts : t -> int

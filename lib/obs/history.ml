@@ -34,6 +34,10 @@ type entry = {
   alternative : int option;  (** TDO choice of the dominant launch *)
   seconds : float;  (** simulated kernel seconds, all launches *)
   composite_seconds : float;  (** whole-run composite the kernel was part of *)
+  host_seconds : float;
+      (** host wall-clock of the whole run (compile + execute), shared
+          by every kernel of the run; 0 when the writer predates the
+          field or did not measure it *)
   cycles : float;  (** simulated device cycles of the dominant launch *)
   occupancy : float;
   bottleneck : Bottleneck.t;
@@ -110,8 +114,8 @@ let env_fingerprint () =
 (* Building entries from a run                                         *)
 (* ------------------------------------------------------------------ *)
 
-let entries_of_run ?rev ?env ~bench ~config ~(target : Descriptor.t) ~composite_seconds records
-    : entry list =
+let entries_of_run ?rev ?env ?(host_seconds = 0.) ~bench ~config ~(target : Descriptor.t)
+    ~composite_seconds records : entry list =
   let rev = match rev with Some r -> r | None -> git_rev () in
   let env = match env with Some e -> e | None -> env_fingerprint () in
   List.map
@@ -127,6 +131,7 @@ let entries_of_run ?rev ?env ~bench ~config ~(target : Descriptor.t) ~composite_
         alternative = k.Pgpu_profile.alternative;
         seconds = k.Pgpu_profile.seconds;
         composite_seconds;
+        host_seconds;
         cycles = k.Pgpu_profile.cycles;
         occupancy = k.Pgpu_profile.occupancy;
         bottleneck = k.Pgpu_profile.bottleneck;
@@ -164,6 +169,7 @@ let json_of_entry (e : entry) =
       ("alternative", match e.alternative with Some a -> Json.Int a | None -> Json.Null);
       ("seconds", Json.Float e.seconds);
       ("composite_seconds", Json.Float e.composite_seconds);
+      ("host_seconds", Json.Float e.host_seconds);
       ("cycles", Json.Float e.cycles);
       ("occupancy", Json.Float e.occupancy);
       ("bottleneck", json_of_bottleneck e.bottleneck);
@@ -215,6 +221,9 @@ let entry_of_json j =
     in
     let* seconds = num_field "seconds" j in
     let* composite_seconds = num_field "composite_seconds" j in
+    (* absent in records written before the field existed: default 0
+       rather than rejecting the whole entry *)
+    let host_seconds = Result.value ~default:0. (num_field "host_seconds" j) in
     let* cycles = num_field "cycles" j in
     let* occupancy = num_field "occupancy" j in
     let* bottleneck =
@@ -237,6 +246,7 @@ let entry_of_json j =
         alternative;
         seconds;
         composite_seconds;
+        host_seconds;
         cycles;
         occupancy;
         bottleneck;

@@ -25,6 +25,9 @@ type entry = {
   alternative : int option;  (** TDO choice of the dominant launch *)
   seconds : float;  (** simulated kernel seconds, all launches *)
   composite_seconds : float;  (** whole-run composite the kernel was part of *)
+  host_seconds : float;
+      (** host wall-clock of the whole run (compile + execute), shared
+          by every kernel of the run; 0 when not measured *)
   cycles : float;  (** simulated device cycles of the dominant launch *)
   occupancy : float;
   bottleneck : Bottleneck.t;
@@ -48,6 +51,7 @@ val env_fingerprint : unit -> string
 val entries_of_run :
   ?rev:string ->
   ?env:string ->
+  ?host_seconds:float ->
   bench:string ->
   config:string ->
   target:Descriptor.t ->

@@ -27,6 +27,13 @@ type kernel_row = {
   bottleneck : Bottleneck.t;  (** of the best configuration's representative run *)
   occupancy : float;
   alternative : int option;
+  host_seconds : float;
+      (** host wall-clock of the representative run's whole process
+          (compile + execute); 0 when the history predates the field *)
+  host_throughput : float;
+      (** simulated warp instructions retired per host second by the
+          representative run — the engine's simulation speed; 0 when
+          wall-clock was not recorded *)
 }
 
 type target_section = {
@@ -123,6 +130,11 @@ let build_section (entries : History.entry list) target : target_section =
           bottleneck = best_repr.History.bottleneck;
           occupancy = best_repr.History.occupancy;
           alternative = best_repr.History.alternative;
+          host_seconds = best_repr.History.host_seconds;
+          host_throughput =
+            (if best_repr.History.host_seconds > 0. then
+               best_repr.History.warp_insts /. best_repr.History.host_seconds
+             else 0.);
         })
       kernels
   in
@@ -164,6 +176,7 @@ let pp_section ppf (s : target_section) =
     s.reference;
   Fmt.pf ppf "  %-28s" "bench/kernel";
   List.iter (fun c -> Fmt.pf ppf " %22s" c) s.configs;
+  Fmt.pf ppf " %14s" "host";
   Fmt.pf ppf "  %s@." "bottleneck";
   List.iter
     (fun r ->
@@ -174,6 +187,8 @@ let pp_section ppf (s : target_section) =
           | Some c -> Fmt.pf ppf " %12.6fs %7.2fx" c.seconds c.speedup
           | None -> Fmt.pf ppf " %22s" "-")
         s.configs;
+      (if r.host_throughput > 0. then Fmt.pf ppf " %10.3g i/s" r.host_throughput
+       else Fmt.pf ppf " %14s" "-");
       Fmt.pf ppf "  %a@." Bottleneck.pp r.bottleneck)
     s.rows;
   Fmt.pf ppf "  bottlenecks: %a@."
@@ -233,6 +248,8 @@ let json_of_row (r : kernel_row) =
       ("bottleneck_headroom", Json.Float r.bottleneck.Bottleneck.headroom);
       ("occupancy", Json.Float r.occupancy);
       ("alternative", match r.alternative with Some a -> Json.Int a | None -> Json.Null);
+      ("host_seconds", Json.Float r.host_seconds);
+      ("host_throughput", Json.Float r.host_throughput);
     ]
 
 let json_of_section (s : target_section) =
@@ -317,7 +334,7 @@ let to_html (r : t) =
       List.iter
         (fun c -> pf "<th colspan=\"2\">%s (s / speedup)</th>" (html_escape c))
         s.configs;
-      pf "<th>occupancy</th><th>bottleneck</th></tr>\n";
+      pf "<th>host</th><th>occupancy</th><th>bottleneck</th></tr>\n";
       List.iter
         (fun (row : kernel_row) ->
           pf "<tr><td class=\"name\">%s/%s</td>" (html_escape row.bench) (html_escape row.kernel);
@@ -327,6 +344,8 @@ let to_html (r : t) =
               | Some c -> pf "<td>%.6f</td><td class=\"speedup\">%.2fx</td>" c.seconds c.speedup
               | None -> pf "<td>-</td><td>-</td>")
             s.configs;
+          (if row.host_throughput > 0. then pf "<td>%.3g inst/s</td>" row.host_throughput
+           else pf "<td>-</td>");
           let b = row.bottleneck in
           let label = Bottleneck.label_name b.Bottleneck.label in
           pf

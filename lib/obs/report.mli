@@ -23,6 +23,10 @@ type kernel_row = {
   bottleneck : Bottleneck.t;  (** of the best configuration's representative run *)
   occupancy : float;
   alternative : int option;
+  host_seconds : float;  (** representative run's host wall-clock; 0 if unrecorded *)
+  host_throughput : float;
+      (** simulated warp instructions per host second (simulation
+          speed); 0 when wall-clock was not recorded *)
 }
 
 type target_section = {

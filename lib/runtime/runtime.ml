@@ -56,6 +56,10 @@ type config = {
   racecheck : Racecheck.t option;
       (** dynamic shared-memory race detector attached to the simulator
           for the whole run; [None] (the default) costs nothing *)
+  engine : Engine.t;
+      (** kernel execution engine: [Compiled] (the default) lowers each
+          launch site once to slot-indexed closure kernels; [Interp] is
+          the tree-walking reference *)
 }
 
 let default_config target =
@@ -72,6 +76,7 @@ let default_config target =
     tracer = Tracer.disabled;
     cache = Cache.disabled;
     racecheck = None;
+    engine = Engine.default;
   }
 
 type state = {
@@ -96,6 +101,11 @@ type state = {
       (** (wrapper id, alternative) -> barrier-fissioned region for the
           CPU backend; [None] records that fission was refused and the
           site runs through the lockstep interpreter instead *)
+  compiled_cache : (Instr.instr, Compile.t) Cache.Memo.t;
+      (** structural-hash-memoized slot-indexed kernels; sound across
+          cloned regions because [Instr.equal_block] requires free
+          values (the kernel arguments a compiled kernel captures) to
+          be identical on both sides *)
 }
 
 let create config =
@@ -114,6 +124,7 @@ let create config =
     stats_cache = Hashtbl.create 8;
     khash_cache = Hashtbl.create 8;
     fission_cache = Hashtbl.create 8;
+    compiled_cache = Cache.Memo.create ();
   }
 
 exception Host_error of string
@@ -270,6 +281,16 @@ let kernel_stats st ~wid ~alt region =
 let cpu_mode st =
   st.config.target.Descriptor.kind = Descriptor.Cpu && st.config.racecheck = None
 
+(** Slot-indexed compilation of a launch site's grid-level parallel,
+    memoized in the content-addressed store on the region's structural
+    hash. TDO trials, the committed re-execution and host-loop
+    relaunches of the same site all reuse one compiled kernel. *)
+let compiled_kernel st (i : Instr.instr) : Compile.t =
+  Cache.Memo.find_or_add st.compiled_cache ~hash:(Instr.hash_block [ i ])
+    ~equal:(fun a b -> Instr.equal_block [ a ] [ b ])
+    i
+    (fun () -> Compile.compile i)
+
 (** Barrier-fission a kernel region for CPU execution, memoized per
     launch site. A refusal (synchronizing [While], thread-dependent
     interchange operand, ...) is also memoized: the region then runs
@@ -364,7 +385,15 @@ let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
           in
           let result, breakdown =
             if cpu_mode st then begin
-              let cres = Cpu_exec.launch st.config.target ~jobs:st.config.jobs ~mode ~env:st.env i in
+              let compiled =
+                match st.config.engine with
+                | Engine.Compiled -> Some (compiled_kernel st i)
+                | Engine.Interp -> None
+              in
+              let cres =
+                Cpu_exec.launch st.config.target ?compiled ~jobs:st.config.jobs ~mode
+                  ~env:st.env i
+              in
               let result = cres.Cpu_exec.result in
               ( result,
                 Cpu_timing.estimate st.config.target ~demand
@@ -372,7 +401,12 @@ let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
             end
             else begin
               st.machine.Exec.shared_as_global <- offload;
-              let result = Exec.launch st.machine ~mode ~env:st.env i in
+              let result =
+                match st.config.engine with
+                | Engine.Compiled ->
+                    Compile.launch st.machine ~mode ~env:st.env (compiled_kernel st i)
+                | Engine.Interp -> Exec.launch st.machine ~mode ~env:st.env i
+              in
               st.machine.Exec.shared_as_global <- false;
               (result, Timing.estimate st.config.target ~demand result)
             end
@@ -607,8 +641,13 @@ and exec_kernel_region_probe st ~name:_ ~wid ~alt region acc =
           in
           let breakdown =
             if cpu_mode st then begin
+              let compiled =
+                match st.config.engine with
+                | Engine.Compiled -> Some (compiled_kernel st i)
+                | Engine.Interp -> None
+              in
               let cres =
-                Cpu_exec.launch st.config.target ~jobs:st.config.jobs
+                Cpu_exec.launch st.config.target ?compiled ~jobs:st.config.jobs
                   ~mode:(`Sample st.config.sample_blocks) ~env:st.env i
               in
               Cpu_timing.estimate st.config.target ~demand
@@ -616,7 +655,12 @@ and exec_kernel_region_probe st ~name:_ ~wid ~alt region acc =
             end
             else
               let result =
-                Exec.launch st.machine ~mode:(`Sample st.config.sample_blocks) ~env:st.env i
+                match st.config.engine with
+                | Engine.Compiled ->
+                    Compile.launch st.machine ~mode:(`Sample st.config.sample_blocks)
+                      ~env:st.env (compiled_kernel st i)
+                | Engine.Interp ->
+                    Exec.launch st.machine ~mode:(`Sample st.config.sample_blocks) ~env:st.env i
               in
               Timing.estimate st.config.target ~demand result
           in

@@ -51,6 +51,10 @@ type config = {
   racecheck : Pgpu_gpusim.Racecheck.t option;
       (** dynamic shared-memory race detector attached to the simulator
           for the whole run; [None] (the default) costs nothing *)
+  engine : Pgpu_gpusim.Engine.t;
+      (** kernel execution engine: [Compiled] (the default) lowers each
+          launch site once to slot-indexed closure kernels; [Interp] is
+          the tree-walking reference, bit-identical but slower *)
 }
 
 val default_config : Descriptor.t -> config

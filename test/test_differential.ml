@@ -73,4 +73,36 @@ let cases_for (target : Descriptor.t) =
         `Slow (test_bench target b))
     benches
 
-let suite = [ ("differential", cases_for Descriptor.a100 @ cases_for Descriptor.rx6800) ]
+(** Engine differential: every benchmark must produce bit-identical
+    buffers under the slot-indexed compiled engine and the tree-walking
+    interpreter reference mode. *)
+let run_engine (target : Descriptor.t) m ~engine args =
+  let m', _ = Pipeline.compile (Pipeline.default_options target) m in
+  let config = { (Runtime.default_config target) with Runtime.engine } in
+  let results, _ = Runtime.run config m' (List.map (fun n -> Exec.UI n) args) in
+  List.map Runtime.buffer_contents results
+
+let test_engines (target : Descriptor.t) (b : Bench_def.t) () =
+  let args = b.Bench_def.test_args in
+  let m = Frontend.compile_string b.Bench_def.source in
+  Verify.check_exn m;
+  let interp = run_engine target m ~engine:Pgpu_gpusim.Engine.Interp args in
+  let compiled = run_engine target m ~engine:Pgpu_gpusim.Engine.Compiled args in
+  check_bitwise
+    ~what:(Fmt.str "%s engines on %s" b.Bench_def.name target.Descriptor.name)
+    interp compiled
+
+let engine_cases_for (target : Descriptor.t) =
+  List.map
+    (fun (b : Bench_def.t) ->
+      Alcotest.test_case
+        (Fmt.str "%s compiled vs interp on %s" b.Bench_def.name target.Descriptor.name)
+        `Slow (test_engines target b))
+    benches
+
+let suite =
+  [
+    ( "differential",
+      cases_for Descriptor.a100 @ cases_for Descriptor.rx6800
+      @ engine_cases_for Descriptor.a100 @ engine_cases_for Descriptor.rx6800 );
+  ]

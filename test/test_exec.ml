@@ -210,6 +210,71 @@ let test_barrier_divergence_detected () =
              let cond = Builder.cmp ib Ops.Lt tid c16 in
              Builder.if0 ib cond (fun bb -> Builder.barrier bb tpid))))
 
+(* ------------------------------------------------------------------ *)
+(* Differential property: compiled engine vs the tree-walker           *)
+(* ------------------------------------------------------------------ *)
+
+(** Random barrier-bearing kernels must behave identically under the
+    slot-indexed compiled engine and the interpreter reference mode on
+    every target class — NVIDIA and AMD launch geometries plus the
+    barrier-fission CPU backend: bit-identical output buffers,
+    identical event counters per launch, and the same simulated time. *)
+let arb_engine_kdesc =
+  let open Test_random_kernels in
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_kdesc)
+    QCheck.Gen.(
+      let* d = gen_kdesc in
+      let* i = gen_idx in
+      (* guarantee at least one barrier so lane masks, shared memory
+         and (on cpu) fission epochs are all exercised *)
+      return { d with steps = To_shared i :: d.steps })
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"engines: compiled matches interp bitwise" ~count:40
+    arb_engine_kdesc (fun d ->
+      let m = Test_random_kernels.build_module d in
+      Verify.check_exn m;
+      let run target engine =
+        let config =
+          { (Pgpu_runtime.Runtime.default_config target) with
+            Pgpu_runtime.Runtime.engine;
+            jobs = 2;
+          }
+        in
+        let results, st =
+          Pgpu_runtime.Runtime.run config m [ Exec.UI d.Test_random_kernels.nblocks ]
+        in
+        let outputs =
+          List.map
+            (fun r ->
+              List.map Int64.bits_of_float (Pgpu_runtime.Runtime.buffer_contents r))
+            results
+        in
+        let counters =
+          List.map
+            (fun (r : Pgpu_runtime.Runtime.launch_record) ->
+              r.Pgpu_runtime.Runtime.result.Exec.counters)
+            (Pgpu_runtime.Runtime.records st)
+        in
+        (outputs, counters, Pgpu_runtime.Runtime.composite_seconds st)
+      in
+      List.for_all
+        (fun (target : Descriptor.t) ->
+          let oi, ci, ti = run target Engine.Interp in
+          let oc, cc, tc = run target Engine.Compiled in
+          if oi <> oc then
+            QCheck.Test.fail_reportf "%s: outputs differ between engines"
+              target.Descriptor.name;
+          if ci <> cc then
+            QCheck.Test.fail_reportf "%s: launch counters differ between engines"
+              target.Descriptor.name;
+          if not (Float.equal ti tc) then
+            QCheck.Test.fail_reportf "%s: composite time differs: %h vs %h"
+              target.Descriptor.name ti tc;
+          true)
+        [ Descriptor.a100; Descriptor.rx6800; Descriptor.cpu ])
+
 let suite =
   [
     ( "exec",
@@ -223,5 +288,6 @@ let suite =
         !:"sampled launch scales counters" `Quick test_sampled_launch_scales;
         !:"shared-memory bank conflicts" `Quick test_bank_conflicts;
         !:"barrier divergence detected" `Quick test_barrier_divergence_detected;
+        QCheck_alcotest.to_alcotest prop_engines_agree;
       ] );
   ]

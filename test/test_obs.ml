@@ -43,6 +43,7 @@ let mk ?(rev = "test") ?(env = "test") ?(alternative = Some 0) ?(label = Bottlen
     alternative;
     seconds;
     composite_seconds = seconds *. 2.;
+    host_seconds = seconds *. 4.;
     cycles = seconds *. 1e9;
     occupancy;
     bottleneck = { Bottleneck.label; limiter; headroom };
@@ -400,7 +401,9 @@ let golden_expected = {golden|{
           "bottleneck_limiter": "dram",
           "bottleneck_headroom": 0.25,
           "occupancy": 1.0,
-          "alternative": 2
+          "alternative": 2,
+          "host_seconds": 0.004,
+          "host_throughput": 256000.0
         }
       ],
       "bottlenecks": {
@@ -429,7 +432,9 @@ let golden_expected = {golden|{
           "bottleneck_limiter": "fp32",
           "bottleneck_headroom": 0.125,
           "occupancy": 1.0,
-          "alternative": 0
+          "alternative": 0,
+          "host_seconds": 0.016,
+          "host_throughput": 64000.0
         }
       ],
       "bottlenecks": {
