@@ -42,6 +42,14 @@ let write_baseline = flag_value "--write-baseline"
 
 let gate_enabled = Array.exists (String.equal "--gate") Sys.argv
 let repeats = match flag_value "--repeats" with Some r -> int_of_string r | None -> 1
+
+(** [--jobs N]: worker domains for compilation, grid sharding and TDO
+    trials (also honoured via [PGPU_JOBS]; results are bit-identical
+    at any value). *)
+let jobs =
+  match flag_value "--jobs" with
+  | Some j -> int_of_string j
+  | None -> Pgpu_support.Util.default_jobs ()
 let gate_failed = ref false
 let harness_t0 = Unix.gettimeofday ()
 
@@ -71,6 +79,8 @@ let write_summary () =
              ("rev", Json.Str (O.History.git_rev ()));
              ("env", Json.Str (O.History.env_fingerprint ()));
              ("quick", Json.Bool quick);
+             ("jobs", Json.Int jobs);
+             ("pool_size", Json.Int (Pgpu_support.Pool.size (Pgpu_support.Pool.get ())));
              ("wall_seconds", Json.Float (Unix.gettimeofday () -. harness_t0));
              ("experiments", Json.Obj !summaries);
            ]);
@@ -120,7 +130,15 @@ let table1 () =
 let cpu () =
   heading "CPU retargeting (barrier-fission backend)";
   let benches = if quick then benches () else P.Rodinia.all @ P.Hecbench.all in
-  write_metrics "cpu" (E.json_of_cpu_compare (E.cpu_compare ~benches ~jobs:2 ()))
+  write_metrics "cpu" (E.json_of_cpu_compare (E.cpu_compare ~benches ~jobs ()))
+
+let parbench () =
+  heading "Domain parallelism: worker-pool harness (--jobs N) vs sequential";
+  (* always the quick subset: wall-clock comparison like enginebench;
+     raises on any parallel/sequential divergence (bit-identity is the
+     smoke assertion — the speedup threshold is gated in CI) *)
+  write_metrics "parbench"
+    (E.json_of_par_bench (E.par_bench ~benches:(E.quick_benches ()) ~jobs ()))
 
 let enginebench () =
   heading "Execution engines: compiled (slot-indexed closures) vs interp (tree-walker)";
@@ -203,7 +221,7 @@ let gate () =
   let benches = benches () in
   Fmt.pr "measuring %d bench(es) x %d target(s) x %d config(s), %d repeat(s)@."
     (List.length benches) (List.length E.obs_targets) (List.length E.obs_configs) repeats;
-  let entries = E.obs_suite ~benches ~repeats () in
+  let entries = E.obs_suite ~benches ~repeats ~jobs () in
   Fmt.pr "%d run record(s) collected@." (List.length entries);
   Option.iter
     (fun dir ->
@@ -320,6 +338,7 @@ let all () =
   hipify ();
   cpu ();
   enginebench ();
+  parbench ();
   ablation ();
   cachebench ();
   micro ()
@@ -340,6 +359,7 @@ let () =
       ("hipify", hipify);
       ("cpu", cpu);
       ("enginebench", enginebench);
+      ("parbench", parbench);
       ("ablation", ablation);
       ("cachebench", cachebench);
       ("gate", gate);
@@ -353,7 +373,8 @@ let () =
       | "--obs-dir" :: _ :: rest
       | "--baseline" :: _ :: rest
       | "--write-baseline" :: _ :: rest
-      | "--repeats" :: _ :: rest ->
+      | "--repeats" :: _ :: rest
+      | "--jobs" :: _ :: rest ->
           clean rest
       | "--quick" :: rest | "--gate" :: rest -> clean rest
       | a :: rest -> a :: clean rest

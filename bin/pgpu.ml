@@ -143,8 +143,11 @@ let jobs_arg =
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Domains used for parallel candidate expansion and, on CPU targets, for \
-           domain-parallel block execution (default 1: sequential).")
+          "Worker domains from the persistent pool (default 1: sequential; also settable \
+           via $(b,PGPU_JOBS)). Parallelises candidate expansion at compile time and, at \
+           run time, TDO trial execution and sharded grid simulation. Outputs, counters \
+           and TDO choices are bit-identical at any value; runs with $(b,--trace), \
+           $(b,--metrics) or $(b,--racecheck) fall back to sequential execution.")
 
 let engine_arg =
   Arg.(
@@ -213,11 +216,11 @@ let config_desc ~coarsen ~tune =
       (if tune then "tdo" else "fixed")
       (String.concat ";" (List.map (fun (b, t) -> Fmt.str "%d,%d" b t) coarsen))
 
-let record_history ~obs_dir ?host_seconds ~bench ~config ~target (r : P.run_result) =
+let record_history ~obs_dir ?host_seconds ?jobs ~bench ~config ~target (r : P.run_result) =
   Option.iter
     (fun dir ->
       let entries =
-        P.History.entries_of_run ?host_seconds ~bench ~config ~target
+        P.History.entries_of_run ?host_seconds ?jobs ~bench ~config ~target
           ~composite_seconds:r.P.composite_seconds r.P.records
       in
       P.History.append ~dir entries;
@@ -290,7 +293,7 @@ let run_cmd =
     let host_seconds = Unix.gettimeofday () -. t0 in
     write_cache_stats cache cache_stats;
     print_run_summary r;
-    record_history ~obs_dir ~host_seconds
+    record_history ~obs_dir ~host_seconds ~jobs
       ~bench:(Filename.remove_extension (Filename.basename file))
       ~config:(config_desc ~coarsen ~tune) ~target r;
     0
@@ -349,8 +352,8 @@ let bench_cmd =
       let host_seconds = Unix.gettimeofday () -. t0 in
       write_cache_stats cache cache_stats;
       print_run_summary r;
-      record_history ~obs_dir ~host_seconds ~bench:name ~config:(config_desc ~coarsen ~tune)
-        ~target r;
+      record_history ~obs_dir ~host_seconds ~jobs ~bench:name
+        ~config:(config_desc ~coarsen ~tune) ~target r;
       if verify then Fmt.pr "outputs verified against the CPU reference.@.";
       0
     end

@@ -773,6 +773,120 @@ let json_of_engine_bench ((data : engine_entry list), geomean) : Json.t =
     ]
 
 
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel benchmark: worker-pool harness vs sequential        *)
+(* ------------------------------------------------------------------ *)
+
+type par_entry = {
+  par_bench : string;
+  par_target : string;
+  seq_seconds : float;  (** host wall-clock of the [--jobs 1] runs *)
+  par_seconds : float;  (** host wall-clock of the [--jobs n] runs *)
+  par_speedup : float;  (** seq / par *)
+  par_jobs : int;  (** worker domains of the parallel runs *)
+  par_identical : bool;
+      (** outputs bitwise equal, composite time bitwise equal, and the
+          same TDO alternative chosen at every launch site *)
+}
+
+(** Wall-clock the harness sequentially vs on [jobs] worker domains:
+    [repeats] full tuned runs each over the same compiled module, so
+    both parallel TDO trial execution and sharded grid simulation are
+    exercised. The simulator's sharding is order-independent by
+    construction (per-SM L2 slices, per-block allocators, SM assigned
+    by block position), so the two sides must agree bit-for-bit — any
+    divergence is a determinism bug, not noise. *)
+let par_bench_data ?(benches = quick_benches ()) ?(target = Descriptor.a100) ?(repeats = 3)
+    ?(jobs = Pgpu_support.Util.default_jobs ()) () : par_entry list =
+  let specs = specs_of_totals [ (1, 1); (2, 1); (1, 2) ] in
+  List.map
+    (fun (b : Bench_def.t) ->
+      let c = compile ~specs ~target ~source:b.Bench_def.source () in
+      let args = b.Bench_def.args in
+      let time jobs =
+        let t0 = Unix.gettimeofday () in
+        let r = ref (run ~tune:true ~jobs c ~args) in
+        for _ = 2 to max 1 repeats do
+          r := run ~tune:true ~jobs c ~args
+        done;
+        (Unix.gettimeofday () -. t0, !r)
+      in
+      let ts, rs = time 1 in
+      let tp, rp = time jobs in
+      let bits (r : run_result) = List.map (List.map Int64.bits_of_float) r.outputs in
+      let choices (r : run_result) =
+        List.rev_map
+          (fun (l : Runtime.launch_record) -> (l.Runtime.kernel, l.Runtime.alternative))
+          r.records
+      in
+      {
+        par_bench = b.Bench_def.name;
+        par_target = target.Descriptor.name;
+        seq_seconds = ts;
+        par_seconds = tp;
+        par_speedup = ts /. Float.max tp 1e-9;
+        par_jobs = jobs;
+        par_identical =
+          bits rs = bits rp
+          && Float.equal rs.composite_seconds rp.composite_seconds
+          && choices rs = choices rp;
+      })
+    benches
+
+(** Print the parallelism comparison and return the per-bench data
+    plus the geomean speedup. Raises [Failure] when any bench diverges
+    between the sequential and parallel runs — bit-identity is the
+    contract, so divergence fails the harness outright. The speedup
+    itself is reported, not asserted; CI gates on the JSON. *)
+let par_bench ?benches ?target ?repeats ?jobs () : par_entry list * float =
+  fpr "== Domain parallelism: sharded grids + parallel TDO vs sequential ==@.";
+  let data = par_bench_data ?benches ?target ?repeats ?jobs () in
+  let rows =
+    List.map
+      (fun e ->
+        [
+          e.par_bench;
+          Fmt.str "%.2f" (e.seq_seconds *. 1e3);
+          Fmt.str "%.2f" (e.par_seconds *. 1e3);
+          Fmt.str "%.2f" e.par_speedup;
+          (if e.par_identical then "yes" else "NO");
+        ])
+      data
+  in
+  let njobs = match data with e :: _ -> e.par_jobs | [] -> 1 in
+  print_table
+    [ "benchmark"; "jobs=1 (ms)"; Fmt.str "jobs=%d (ms)" njobs; "speedup"; "bit-identical" ]
+    rows;
+  let geo = Stats.geomean (List.map (fun e -> e.par_speedup) data) in
+  fpr "geomean speedup: %.2fx (%d worker domains)@.@." geo njobs;
+  let diverged = List.filter (fun e -> not e.par_identical) data in
+  if diverged <> [] then
+    Pgpu_support.Util.failf "parallel/sequential divergence on: %s"
+      (String.concat ", " (List.map (fun e -> e.par_bench) diverged));
+  (data, geo)
+
+let json_of_par_bench ((data : par_entry list), geomean) : Json.t =
+  Json.Obj
+    [
+      ("geomean_speedup", Json.Float geomean);
+      ("jobs", Json.Int (match data with e :: _ -> e.par_jobs | [] -> 1));
+      ("pool_size", Json.Int (Pgpu_support.Pool.size (Pgpu_support.Pool.get ())));
+      ( "benchmarks",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("benchmark", Json.Str e.par_bench);
+                   ("target", Json.Str e.par_target);
+                   ("seq_seconds", Json.Float e.seq_seconds);
+                   ("par_seconds", Json.Float e.par_seconds);
+                   ("speedup", Json.Float e.par_speedup);
+                   ("bit_identical", Json.Bool e.par_identical);
+                 ])
+             data) );
+    ]
+
 (** Targets the observatory measures: one NVIDIA GPU, one AMD GPU and
     the barrier-fission CPU backend. *)
 let obs_targets = [ Descriptor.a100; Descriptor.rx6800; Descriptor.cpu ]
@@ -791,7 +905,7 @@ let obs_configs = [ ("untuned", [], false); ("tdo", obs_specs, true) ]
     single repeat is exact; [repeats] exists for the median machinery.
     [rev]/[env] are forwarded to the history stamps (tests pin them). *)
 let obs_suite ?(benches = Rodinia.all) ?(targets = obs_targets) ?(configs = obs_configs)
-    ?(repeats = 1) ?rev ?env () : History.entry list =
+    ?(repeats = 1) ?(jobs = 1) ?rev ?env () : History.entry list =
   List.concat_map
     (fun (b : Bench_def.t) ->
       List.concat_map
@@ -801,9 +915,9 @@ let obs_suite ?(benches = Rodinia.all) ?(targets = obs_targets) ?(configs = obs_
               List.concat_map
                 (fun _rep ->
                   let t0 = Unix.gettimeofday () in
-                  let r = run_rodinia ~specs ~tune ~target b in
+                  let r = run_rodinia ~specs ~tune ~jobs ~target b in
                   let host_seconds = Unix.gettimeofday () -. t0 in
-                  History.entries_of_run ?rev ?env ~host_seconds ~bench:b.Bench_def.name
+                  History.entries_of_run ?rev ?env ~host_seconds ~jobs ~bench:b.Bench_def.name
                     ~config ~target ~composite_seconds:r.composite_seconds r.records)
                 (List.init (max 1 repeats) Fun.id))
             configs)

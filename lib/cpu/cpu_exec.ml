@@ -43,10 +43,12 @@ let core_machine (t : Descriptor.t) : Exec.machine =
   {
     Exec.target = t;
     alloc = Memory.allocator ();
-    l2 =
-      Cache.create
-        ~size_bytes:(max 4096 (t.Descriptor.l2_bytes / max 1 t.Descriptor.sm_count))
-        ~line_bytes:t.Descriptor.l1_line_bytes ~ways:16;
+    l2s =
+      [|
+        Cache.create
+          ~size_bytes:(max 4096 (t.Descriptor.l2_bytes / max 1 t.Descriptor.sm_count))
+          ~line_bytes:t.Descriptor.l1_line_bytes ~ways:16;
+      |];
     l1s =
       [|
         Cache.create ~size_bytes:t.Descriptor.l1_bytes_per_sm
@@ -150,10 +152,17 @@ let launch (target : Descriptor.t) ?(compiled : Compile.t option) ~(jobs : int)
       let run_core (core, blocks) =
         let m = core_machine target in
         m.Exec.counters.Counters.launches <- 0.;
+        (* block-shared scratch comes from the deterministic per-block
+           allocator, so simulated addresses depend only on the block
+           index — never on which core (or how many) ran the block *)
         (match compiled with
         | Some ck ->
             let inst = Compile.instantiate ck m ~env in
-            List.iter (fun lb -> Compile.run_block inst ~sm:0 lb) blocks
+            List.iter
+              (fun lb ->
+                m.Exec.alloc <- Memory.block_allocator lb;
+                Compile.run_block inst ~sm:0 lb)
+              blocks
         | None ->
             let cenv = Hashtbl.copy env in
             let ctx =
@@ -165,6 +174,7 @@ let launch (target : Descriptor.t) ?(compiled : Compile.t option) ~(jobs : int)
                 List.iteri
                   (fun k (iv : Value.t) -> Exec.bind cenv iv (Exec.UI (List.nth coords k)))
                   ivs;
+                m.Exec.alloc <- Memory.block_allocator lb;
                 ignore (Exec.exec_block ctx (Exec.full_mask ctx) body);
                 m.Exec.counters.Counters.blocks <- m.Exec.counters.Counters.blocks +. 1.)
               blocks);

@@ -89,6 +89,38 @@ let restore t s =
   t.last_data <- [||];
   t.last_w <- 0
 
+(** Deep, independent copy — used to give TDO trial machines private
+    caches. The one-entry probe shortcut is invalidated rather than
+    copied: [last_data] aliases a row of the source's tag store, and a
+    shared row would let one domain's accesses corrupt another's. An
+    invalid shortcut only costs the next probe a set scan; hit/miss
+    outcomes are unchanged. *)
+let clone t =
+  {
+    t with
+    set_data = Array.map (fun d -> if Array.length d = 0 then [||] else Array.copy d) t.set_data;
+    last_line = -1;
+    last_data = [||];
+    last_w = 0;
+  }
+
+(** An empty cache with [t]'s geometry — behaviourally identical to
+    [clone t] immediately followed by [reset], without copying any tag
+    rows. Used for trial-machine L1s, which every launch resets before
+    its first access anyway. *)
+let fresh t =
+  {
+    t with
+    set_data = Array.make t.sets [||];
+    epoch = 1;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    last_line = -1;
+    last_data = [||];
+    last_w = 0;
+  }
+
 (** Probe the cache with a byte address; allocates on miss (allocate-on-
     read-and-write policy). Returns [true] on hit. *)
 let access t addr =

@@ -32,6 +32,16 @@ type snapshot
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
 
+val clone : t -> t
+(** Deep, independent copy sharing no mutable state with the source —
+    safe to drive from another domain. Behaviourally identical to the
+    source (the one-entry probe shortcut is invalidated, which only
+    affects probe cost, never hit/miss outcomes). *)
+
+val fresh : t -> t
+(** An empty, independent cache with the source's geometry — identical
+    to [clone] followed by [reset], without copying tag rows. *)
+
 (** Probe with a byte address; allocates on miss. [true] on hit. *)
 val access : t -> int -> bool
 

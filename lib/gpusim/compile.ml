@@ -2313,13 +2313,16 @@ type t = {
   ck_nvf : int;
   ck_nvb : int;
   ck_ntp : int;  (** thread-parallel nodes, sizing the per-frame iv memos *)
-  mutable ck_inst : (Exec.machine * instance) option;
-      (** frame pool: the last instance, reused across launches on the
-          same machine (uniforms are reloaded; the register banks and
-          iv-row memos persist). Only the host interpreter's single
-          domain launches through here — the CPU backend instantiates
-          per worker instead — so the cache is not shared between
-          domains. *)
+  ck_lock : Mutex.t;  (** guards [ck_insts]; instances themselves are
+                          only ever driven by their machine's owner *)
+  mutable ck_insts : (Exec.machine * instance) list;
+      (** frame pool, most-recently-used first: instances reused across
+          launches on the same machine (uniforms are reloaded; the
+          register banks and iv-row memos persist). Keyed by machine
+          identity and bounded, so concurrent TDO trials — each with a
+          private machine — can share one compiled kernel without
+          evicting each other's frames or racing on the list. Shard
+          and CPU-core workers instantiate directly instead. *)
 }
 
 let compile (p : Instr.instr) : t =
@@ -2355,7 +2358,8 @@ let compile (p : Instr.instr) : t =
         ck_nvf = st.nvf;
         ck_nvb = st.nvb;
         ck_ntp = st.ntp;
-        ck_inst = None;
+        ck_lock = Mutex.create ();
+        ck_insts = [];
       }
   | _ -> raise (Exec.Device_error "launch expects a blocks-level parallel")
 
@@ -2435,8 +2439,32 @@ let run_block (inst : instance) ~(sm : int) (lb : int) : unit =
   let c = fr.m.Exec.counters in
   c.Counters.blocks <- c.Counters.blocks +. 1.
 
-let launch (m : Exec.machine) ~(mode : Exec.mode) ~(env : Exec.env) (ck : t) : Exec.launch_result
-    =
+(** Pooled-instance lookup, MRU-first under the kernel's lock. A hit
+    rebinds the frame (behaviourally identical to a fresh instantiate);
+    a miss instantiates outside the lock and pushes, truncating the
+    pool. Pool state never affects simulation results, only how much
+    frame allocation a launch re-does. *)
+let pool_max = 8
+
+let pooled_instance (ck : t) (m : Exec.machine) ~(env : Exec.env) : instance =
+  Mutex.lock ck.ck_lock;
+  match List.find_opt (fun (m', _) -> m' == m) ck.ck_insts with
+  | Some ((_, inst) as entry) ->
+      if not (match ck.ck_insts with e :: _ -> e == entry | [] -> false) then
+        ck.ck_insts <- entry :: List.filter (fun e -> e != entry) ck.ck_insts;
+      Mutex.unlock ck.ck_lock;
+      rebind ck inst ~env
+  | None ->
+      Mutex.unlock ck.ck_lock;
+      let inst = instantiate ck m ~env in
+      Mutex.lock ck.ck_lock;
+      ck.ck_insts <- List.filteri (fun i _ -> i < pool_max - 1) ck.ck_insts;
+      ck.ck_insts <- (m, inst) :: ck.ck_insts;
+      Mutex.unlock ck.ck_lock;
+      inst
+
+let launch ?(jobs = 1) (m : Exec.machine) ~(mode : Exec.mode) ~(env : Exec.env) (ck : t) :
+    Exec.launch_result =
   let dims = List.map (fun u -> Exec.ui_of (Exec.lookup env u)) ck.ck_ubs in
   let total = List.fold_left ( * ) 1 dims in
   let saved = m.Exec.counters in
@@ -2448,28 +2476,69 @@ let launch (m : Exec.machine) ~(mode : Exec.mode) ~(env : Exec.env) (ck : t) : E
   if total > 0 then begin
     let indices =
       match mode with
-      | `All -> List.init total Fun.id
-      | `Sample k when total <= k -> List.init total Fun.id
+      | `All -> Array.init total Fun.id
+      | `Sample k when total <= k -> Array.init total Fun.id
       | `Sample k ->
           let k = max 1 k in
-          List.init k (fun j -> j * total / k)
+          Array.init k (fun j -> j * total / k)
     in
-    let executed = List.length indices in
-    let inst =
-      match ck.ck_inst with
-      | Some (m', pooled) when m' == m -> rebind ck pooled ~env
-      | _ ->
-          let inst = instantiate ck m ~env in
-          ck.ck_inst <- Some (m, inst);
-          inst
+    let executed = Array.length indices in
+    let sm_count = m.Exec.target.Pgpu_target.Descriptor.sm_count in
+    let start_sm = m.Exec.next_sm in
+    let sm_of j = (start_sm + j) mod sm_count in
+    let host_alloc = m.Exec.alloc in
+    let shards =
+      if m.Exec.racecheck = None then min (Pgpu_support.Pool.effective_jobs jobs) sm_count
+      else 1
     in
-    List.iter
-      (fun lb ->
-        (match m.Exec.racecheck with None -> () | Some rc -> Racecheck.new_block rc lb);
-        let sm = m.Exec.next_sm in
-        m.Exec.next_sm <- (m.Exec.next_sm + 1) mod m.Exec.target.Pgpu_target.Descriptor.sm_count;
-        run_block inst ~sm lb)
-      indices;
+    Fun.protect
+      ~finally:(fun () -> m.Exec.alloc <- host_alloc)
+      (fun () ->
+        if shards > 1 && executed >= Exec.shard_threshold then begin
+          (* same SM-grouped sharding as the interpreter's launch:
+             shard [g] runs the blocks whose SM satisfies
+             [sm mod shards = g], in position order, on a wrapper
+             machine sharing the per-SM cache arrays. Each shard gets a
+             fresh instance bound to its wrapper — never the pooled
+             one, whose frame belongs to [m]. *)
+          let wrappers =
+            Array.init shards (fun _ ->
+                {
+                  m with
+                  Exec.alloc = Memory.clone_allocator host_alloc;
+                  counters = Counters.create ();
+                  scratch = Array.make 64 0;
+                  bank_counts = Array.make 64 0;
+                })
+          in
+          let pool = Pgpu_support.Pool.get () in
+          Pgpu_support.Pool.run pool ~jobs:shards shards (fun ~slot:_ g ->
+              let mg = wrappers.(g) in
+              let inst = instantiate ck mg ~env in
+              for j = 0 to executed - 1 do
+                let sm = sm_of j in
+                if sm mod shards = g then begin
+                  mg.Exec.alloc <- Memory.block_allocator indices.(j);
+                  run_block inst ~sm indices.(j)
+                end
+              done);
+          Array.iter
+            (fun (w : Exec.machine) ->
+              Counters.accumulate m.Exec.counters w.Exec.counters;
+              if w.Exec.counters.Counters.blocks > 0. then
+                m.Exec.observed_threads <- w.Exec.observed_threads)
+            wrappers
+        end
+        else begin
+          let inst = pooled_instance ck m ~env in
+          for j = 0 to executed - 1 do
+            let lb = indices.(j) in
+            (match m.Exec.racecheck with None -> () | Some rc -> Racecheck.new_block rc lb);
+            m.Exec.alloc <- Memory.block_allocator lb;
+            run_block inst ~sm:(sm_of j) lb
+          done
+        end);
+    m.Exec.next_sm <- (start_sm + executed) mod sm_count;
     if executed < total then
       Counters.scale m.Exec.counters (float_of_int total /. float_of_int executed);
     result_threads := m.Exec.observed_threads

@@ -46,5 +46,6 @@ val instantiate : t -> Exec.machine -> env:Exec.env -> instance
 val run_block : instance -> sm:int -> int -> unit
 
 (** Drop-in replacement for {!Exec.launch}: same sampling, counter
-    scoping, L1 reset, SM round-robin and race-detector hooks. *)
-val launch : Exec.machine -> mode:Exec.mode -> env:Exec.env -> t -> Exec.launch_result
+    scoping, L1 reset, SM round-robin, race-detector hooks — and the
+    same [?jobs] SM-grouped sharding, bit-identical to [jobs = 1]. *)
+val launch : ?jobs:int -> Exec.machine -> mode:Exec.mode -> env:Exec.env -> t -> Exec.launch_result

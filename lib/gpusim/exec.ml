@@ -29,8 +29,17 @@ type rv =
 
 type machine = {
   target : Pgpu_target.Descriptor.t;
-  alloc : Memory.allocator;
-  l2 : Cache.t;
+  mutable alloc : Memory.allocator;
+      (** host allocator between launches; swapped for a deterministic
+          per-block allocator while a block body runs, so device-side
+          [Alloc_shared] addresses depend only on the block index *)
+  l2s : Cache.t array;
+      (** the L2 modelled as per-SM slices (address-sliced, as real L2s
+          are physically partitioned): an access from SM [s] probes
+          [l2s.(s)] only. This makes all cache state per-SM, so blocks
+          mapped to different SMs touch disjoint mutable state — the
+          property that lets sharded launches be bit-identical to
+          sequential ones. *)
   l1s : Cache.t array;
   mutable counters : Counters.t;
   mutable next_sm : int;
@@ -52,7 +61,11 @@ let create_machine (target : Pgpu_target.Descriptor.t) =
   {
     target;
     alloc = Memory.allocator ();
-    l2 = Cache.create ~size_bytes:target.l2_bytes ~line_bytes:128 ~ways:16;
+    l2s =
+      Array.init target.sm_count (fun _ ->
+          Cache.create
+            ~size_bytes:(max 4096 (target.l2_bytes / max 1 target.sm_count))
+            ~line_bytes:128 ~ways:16);
     l1s =
       Array.init target.sm_count (fun _ ->
           Cache.create ~size_bytes:target.l1_bytes_per_sm ~line_bytes:target.l1_line_bytes ~ways:8);
@@ -67,22 +80,46 @@ let create_machine (target : Pgpu_target.Descriptor.t) =
 
 type machine_snapshot = {
   ms_alloc : int * int;
-  ms_l2 : Cache.snapshot;
+  ms_l2s : Cache.snapshot array;
   ms_next_sm : int;
 }
 
 (** Save/restore the machine state that persists across launches
-    (allocator position, L2 contents, SM round-robin pointer), so
+    (allocator position, L2 slice contents, SM round-robin pointer), so
     speculative executions — TDO trials — leave no trace on the timing
     of the committed execution that follows. Buffer contents are
     snapshotted separately by the runtime. *)
 let snapshot_machine m =
-  { ms_alloc = Memory.allocator_mark m.alloc; ms_l2 = Cache.snapshot m.l2; ms_next_sm = m.next_sm }
+  {
+    ms_alloc = Memory.allocator_mark m.alloc;
+    ms_l2s = Array.map Cache.snapshot m.l2s;
+    ms_next_sm = m.next_sm;
+  }
 
 let restore_machine m s =
   Memory.allocator_reset m.alloc s.ms_alloc;
-  Cache.restore m.l2 s.ms_l2;
+  Array.iteri (fun i snap -> Cache.restore m.l2s.(i) snap) s.ms_l2s;
   m.next_sm <- s.ms_next_sm
+
+(** A fully private copy of [m]: no mutable state is shared with the
+    source, so the clone can execute on another domain concurrently
+    with the original. Used by the parallel TDO search to give each
+    trial its own machine instead of serializing trials through one
+    snapshot/restore cycle. The race detector is deliberately not
+    carried over (trial machines never race-check). *)
+let clone_machine m =
+  {
+    m with
+    alloc = Memory.clone_allocator m.alloc;
+    l2s = Array.map Cache.clone m.l2s;
+    (* L1 contents never outlive a launch (every launch resets them),
+       so the clone starts with empty same-geometry L1s *)
+    l1s = Array.map Cache.fresh m.l1s;
+    counters = Counters.copy m.counters;
+    racecheck = None;
+    scratch = Array.make 64 0;
+    bank_counts = Array.make 64 0;
+  }
 
 type env = (int, rv) Hashtbl.t
 
@@ -251,7 +288,7 @@ let global_request ctx ~(is_store : bool) (addrs : int array) (mask : mask) lo h
     c.Counters.store_sectors <- c.Counters.store_sectors +. nsec;
     c.Counters.store_l2_sectors <- c.Counters.store_l2_sectors +. nsec;
     for i = 0 to nsec_i - 1 do
-      if not (Cache.access ctx.m.l2 (Array.unsafe_get scratch i * sector_bytes)) then
+      if not (Cache.access ctx.m.l2s.(ctx.sm) (Array.unsafe_get scratch i * sector_bytes)) then
         c.Counters.l2_store_miss_sectors <- c.Counters.l2_store_miss_sectors +. 1.
     done
   end
@@ -261,7 +298,7 @@ let global_request ctx ~(is_store : bool) (addrs : int array) (mask : mask) lo h
     for i = 0 to nsec_i - 1 do
       if not (Cache.access ctx.m.l1s.(ctx.sm) (Array.unsafe_get scratch i * sector_bytes)) then begin
         c.Counters.l1_load_miss_sectors <- c.Counters.l1_load_miss_sectors +. 1.;
-        if not (Cache.access ctx.m.l2 (Array.unsafe_get scratch i * sector_bytes)) then
+        if not (Cache.access ctx.m.l2s.(ctx.sm) (Array.unsafe_get scratch i * sector_bytes)) then
           c.Counters.l2_load_miss_sectors <- c.Counters.l2_load_miss_sectors +. 1.
       end
     done
@@ -730,10 +767,40 @@ let block_dims_of env (block : Instr.block) =
   in
   find block
 
+(** Below this many executed blocks a launch always runs sequentially:
+    the shard setup (env copies, wrapper machines, pool round-trip)
+    would cost more than it saves. Affects wall-clock only, never
+    results — sharded and sequential launches are bit-identical. *)
+let shard_threshold = 16
+
+(** Execute one block: bind its indices, attach its deterministic
+    device allocator, run the body, count it. [m] is the machine the
+    block's effects land on (the launch machine, or a shard wrapper). *)
+let exec_one_block (m : machine) (env : env) body ~ivs ~dx ~dy ~sm lb =
+  let coords = [ lb mod dx; lb / dx mod dy; lb / (dx * dy) ] in
+  List.iteri (fun k (iv : Value.t) -> bind env iv (UI (List.nth coords k))) ivs;
+  (match m.racecheck with None -> () | Some rc -> Racecheck.new_block rc lb);
+  m.alloc <- Memory.block_allocator lb;
+  let ctx = { m; env; nlanes = 1; ws = m.target.Pgpu_target.Descriptor.warp_size; sm } in
+  ignore (exec_block ctx (full_mask ctx) body);
+  m.counters.Counters.blocks <- m.counters.Counters.blocks +. 1.
+
 (** Launch the grid-level parallel [p] on machine [m]. The environment
     must bind every free value of the kernel region (grid/block sizes,
-    device buffer pointers, scalar arguments). *)
-let launch (m : machine) ~(mode : mode) ~(env : env) (p : Instr.instr) : launch_result =
+    device buffer pointers, scalar arguments).
+
+    With [jobs > 1] (and no race detector attached) the executed
+    blocks are sharded over the persistent domain pool, grouped by the
+    SM each block is assigned to: shard [g] executes, in position
+    order, exactly the blocks whose SM [s] satisfies [s mod groups = g].
+    Because every piece of cache state is per-SM ([l1s], the [l2s]
+    slices) and each block's device allocator depends only on its
+    linear index, each per-SM state sees the same access sequence as in
+    a sequential launch, and the integer-valued counter deltas merge
+    exactly — outputs, counters and simulated times are bit-identical
+    to [jobs = 1]. *)
+let launch ?(jobs = 1) (m : machine) ~(mode : mode) ~(env : env) (p : Instr.instr) : launch_result
+    =
   match p with
   | Instr.Parallel { level = Instr.Blocks; ivs; ubs; body; _ } ->
       let dims = List.map (fun u -> ui_of (lookup env u)) ubs in
@@ -747,28 +814,66 @@ let launch (m : machine) ~(mode : mode) ~(env : env) (p : Instr.instr) : launch_
       if total > 0 then begin
         let indices =
           match mode with
-          | `All -> List.init total Fun.id
-          | `Sample k when total <= k -> List.init total Fun.id
+          | `All -> Array.init total Fun.id
+          | `Sample k when total <= k -> Array.init total Fun.id
           | `Sample k ->
               let k = max 1 k in
-              List.init k (fun j -> j * total / k)
+              Array.init k (fun j -> j * total / k)
         in
-        let executed = List.length indices in
+        let executed = Array.length indices in
         let dx = match dims with d :: _ -> d | [] -> 1 in
         let dy = match dims with _ :: d :: _ -> d | _ -> 1 in
-        List.iter
-          (fun lb ->
-            let coords = [ lb mod dx; lb / dx mod dy; lb / (dx * dy) ] in
-            List.iteri
-              (fun k (iv : Value.t) -> bind env iv (UI (List.nth coords k)))
-              ivs;
-            (match m.racecheck with None -> () | Some rc -> Racecheck.new_block rc lb);
-            let sm = m.next_sm in
-            m.next_sm <- (m.next_sm + 1) mod m.target.Pgpu_target.Descriptor.sm_count;
-            let ctx = { m; env; nlanes = 1; ws = m.target.Pgpu_target.Descriptor.warp_size; sm } in
-            ignore (exec_block ctx (full_mask ctx) body);
-            m.counters.Counters.blocks <- m.counters.Counters.blocks +. 1.)
-          indices;
+        let sm_count = m.target.Pgpu_target.Descriptor.sm_count in
+        let start_sm = m.next_sm in
+        (* round-robin by executed position, identical to advancing
+           [next_sm] once per block *)
+        let sm_of j = (start_sm + j) mod sm_count in
+        let host_alloc = m.alloc in
+        let shards =
+          if m.racecheck = None then min (Pgpu_support.Pool.effective_jobs jobs) sm_count
+          else 1
+        in
+        Fun.protect
+          ~finally:(fun () -> m.alloc <- host_alloc)
+          (fun () ->
+            if shards > 1 && executed >= shard_threshold then begin
+              (* Wrapper machines share the per-SM cache arrays (each
+                 shard touches a disjoint SM subset) but get private
+                 counters, scratch and allocator slots. *)
+              let wrappers =
+                Array.init shards (fun _ ->
+                    {
+                      m with
+                      alloc = Memory.clone_allocator host_alloc;
+                      counters = Counters.create ();
+                      scratch = Array.make 64 0;
+                      bank_counts = Array.make 64 0;
+                    })
+              in
+              let envs = Array.init shards (fun _ -> Hashtbl.copy env) in
+              let pool = Pgpu_support.Pool.get () in
+              Pgpu_support.Pool.run pool ~jobs:shards shards (fun ~slot:_ g ->
+                  let mg = wrappers.(g) and envg = envs.(g) in
+                  for j = 0 to executed - 1 do
+                    let sm = sm_of j in
+                    if sm mod shards = g then
+                      exec_one_block mg envg body ~ivs ~dx ~dy ~sm indices.(j)
+                  done);
+              Array.iter
+                (fun (w : machine) ->
+                  Counters.accumulate m.counters w.counters;
+                  (* every shard that ran a block carries the same
+                     post-launch value (thread extents are uniform
+                     across a launch), so any of them is authoritative *)
+                  if w.counters.Counters.blocks > 0. then
+                    m.observed_threads <- w.observed_threads)
+                wrappers
+            end
+            else
+              for j = 0 to executed - 1 do
+                exec_one_block m env body ~ivs ~dx ~dy ~sm:(sm_of j) indices.(j)
+              done);
+        m.next_sm <- (start_sm + executed) mod sm_count;
         if executed < total then
           Counters.scale m.counters (float_of_int total /. float_of_int executed);
         result_threads := m.observed_threads

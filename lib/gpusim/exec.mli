@@ -26,8 +26,13 @@ type rv =
 
 type machine = {
   target : Pgpu_target.Descriptor.t;
-  alloc : Memory.allocator;
-  l2 : Cache.t;
+  mutable alloc : Memory.allocator;
+      (** host allocator between launches; swapped for a deterministic
+          per-block allocator while a block body runs *)
+  l2s : Cache.t array;
+      (** the L2 modelled as per-SM slices: an access from SM [s]
+          probes [l2s.(s)] only, making all cache state per-SM so that
+          sharded launches are bit-identical to sequential ones *)
   l1s : Cache.t array;
   mutable counters : Counters.t;
   mutable next_sm : int;
@@ -56,6 +61,12 @@ type machine_snapshot
 val snapshot_machine : machine -> machine_snapshot
 
 val restore_machine : machine -> machine_snapshot -> unit
+
+val clone_machine : machine -> machine
+(** A fully private copy of [m] sharing no mutable state with the
+    source, safe to execute on another domain concurrently with the
+    original (the race detector is not carried over). Used by the
+    parallel TDO search to give each trial its own machine. *)
 
 type env = (int, rv) Hashtbl.t
 
@@ -146,7 +157,19 @@ type mode = [ `All | `Sample of int ]
     block body, resolved through [env]. *)
 val block_dims_of : env -> Instr.block -> int list
 
+val shard_threshold : int
+(** Minimum executed blocks before a launch shards across domains
+    (below it, shard setup costs more than it saves). Wall-clock
+    only — sharded and sequential launches are bit-identical. *)
+
 (** Launch the grid-level parallel [p] on machine [m]. The environment
     must bind every free value of the kernel region (grid/block sizes,
-    device buffer pointers, scalar arguments). *)
-val launch : machine -> mode:mode -> env:env -> Instr.instr -> launch_result
+    device buffer pointers, scalar arguments).
+
+    [jobs] (default 1) shards the executed blocks over the persistent
+    domain pool, grouping blocks by their assigned SM so every per-SM
+    cache sees the same access sequence as a sequential launch —
+    outputs, counters and simulated times are bit-identical to
+    [jobs = 1]. Automatically falls back to sequential execution when a
+    race detector is attached or the grid is small. *)
+val launch : ?jobs:int -> machine -> mode:mode -> env:env -> Instr.instr -> launch_result

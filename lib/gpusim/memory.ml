@@ -33,6 +33,21 @@ let allocator_reset a (next_addr, next_id) =
   a.next_addr <- next_addr;
   a.next_id <- next_id
 
+let clone_allocator a = { next_addr = a.next_addr; next_id = a.next_id }
+
+(** Deterministic per-block device allocator for shared-as-global
+    offloading. Device-side allocations depend only on the linear block
+    index, never on which blocks executed before this one or on which
+    domain runs it — a prerequisite for sharded launches to be
+    bit-identical to sequential ones. Blocks get disjoint 4 MiB address
+    windows in a region far above host allocations (the simulator only
+    compares addresses for cache-line/bank identity, so sparseness is
+    free), and a disjoint id range so buffer identity stays unique
+    process-wide. Bases remain 256-byte aligned, so bank-conflict
+    counts match any other allocator placement. *)
+let block_allocator lb =
+  { next_addr = (1 lsl 40) + (lb * (1 lsl 22)); next_id = (min_int / 2) + (lb * (1 lsl 20)) }
+
 let elt_size b = Types.byte_size b.elt
 
 let alloc a space elt len =

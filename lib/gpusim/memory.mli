@@ -28,6 +28,19 @@ val alloc : allocator -> Types.space -> Types.t -> int -> buf
 val allocator_mark : allocator -> int * int
 
 val allocator_reset : allocator -> int * int -> unit
+
+val clone_allocator : allocator -> allocator
+(** Independent copy of the allocator position (for private trial
+    machines). *)
+
+val block_allocator : int -> allocator
+(** [block_allocator lb] is a fresh allocator for the device-side
+    allocations of block [lb]: deterministic per linear block index,
+    with address windows and id ranges disjoint from the host allocator
+    and from every other block. Makes device allocation independent of
+    block execution order, so sharded launches are bit-identical to
+    sequential ones. *)
+
 val elt_size : buf -> int
 
 (** @raise Failure on out-of-bounds access (the net that catches

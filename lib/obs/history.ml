@@ -38,6 +38,10 @@ type entry = {
       (** host wall-clock of the whole run (compile + execute), shared
           by every kernel of the run; 0 when the writer predates the
           field or did not measure it *)
+  jobs : int;
+      (** worker domains the run was executed with; 1 when the writer
+          predates the field (results are jobs-invariant, so this only
+          attributes host wall-clock differences) *)
   cycles : float;  (** simulated device cycles of the dominant launch *)
   occupancy : float;
   bottleneck : Bottleneck.t;
@@ -114,8 +118,8 @@ let env_fingerprint () =
 (* Building entries from a run                                         *)
 (* ------------------------------------------------------------------ *)
 
-let entries_of_run ?rev ?env ?(host_seconds = 0.) ~bench ~config ~(target : Descriptor.t)
-    ~composite_seconds records : entry list =
+let entries_of_run ?rev ?env ?(host_seconds = 0.) ?(jobs = 1) ~bench ~config
+    ~(target : Descriptor.t) ~composite_seconds records : entry list =
   let rev = match rev with Some r -> r | None -> git_rev () in
   let env = match env with Some e -> e | None -> env_fingerprint () in
   List.map
@@ -132,6 +136,7 @@ let entries_of_run ?rev ?env ?(host_seconds = 0.) ~bench ~config ~(target : Desc
         seconds = k.Pgpu_profile.seconds;
         composite_seconds;
         host_seconds;
+        jobs;
         cycles = k.Pgpu_profile.cycles;
         occupancy = k.Pgpu_profile.occupancy;
         bottleneck = k.Pgpu_profile.bottleneck;
@@ -170,6 +175,7 @@ let json_of_entry (e : entry) =
       ("seconds", Json.Float e.seconds);
       ("composite_seconds", Json.Float e.composite_seconds);
       ("host_seconds", Json.Float e.host_seconds);
+      ("jobs", Json.Int e.jobs);
       ("cycles", Json.Float e.cycles);
       ("occupancy", Json.Float e.occupancy);
       ("bottleneck", json_of_bottleneck e.bottleneck);
@@ -224,6 +230,7 @@ let entry_of_json j =
     (* absent in records written before the field existed: default 0
        rather than rejecting the whole entry *)
     let host_seconds = Result.value ~default:0. (num_field "host_seconds" j) in
+    let jobs = Result.value ~default:1 (int_field "jobs" j) in
     let* cycles = num_field "cycles" j in
     let* occupancy = num_field "occupancy" j in
     let* bottleneck =
@@ -247,6 +254,7 @@ let entry_of_json j =
         seconds;
         composite_seconds;
         host_seconds;
+        jobs;
         cycles;
         occupancy;
         bottleneck;
@@ -281,7 +289,21 @@ let append ~dir entries =
             Json.write buf (json_of_entry e);
             Buffer.add_char buf '\n')
           entries;
-        output_string oc (Buffer.contents buf));
+        (* advisory write lock around the single buffered write:
+           O_APPEND already keeps one write atomic on local
+           filesystems, but the lock also covers NFS-style mounts and
+           any future multi-write append, so concurrent bench processes
+           can never interleave partial records. Released implicitly
+           when the descriptor closes; a filesystem that refuses locks
+           degrades to plain O_APPEND semantics. *)
+        let fd = Unix.descr_of_out_channel oc in
+        let locked = try Unix.lockf fd Unix.F_LOCK 0; true with Unix.Unix_error _ -> false in
+        Fun.protect
+          ~finally:(fun () ->
+            if locked then try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+          (fun () ->
+            output_string oc (Buffer.contents buf);
+            flush oc));
     Log.info (fun m -> m "appended %d run record(s) to %s" (List.length entries) (file ~dir))
   end
 

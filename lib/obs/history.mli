@@ -28,6 +28,9 @@ type entry = {
   host_seconds : float;
       (** host wall-clock of the whole run (compile + execute), shared
           by every kernel of the run; 0 when not measured *)
+  jobs : int;
+      (** worker domains the run was executed with; 1 when the writer
+          predates the field (results are jobs-invariant) *)
   cycles : float;  (** simulated device cycles of the dominant launch *)
   occupancy : float;
   bottleneck : Bottleneck.t;
@@ -52,6 +55,7 @@ val entries_of_run :
   ?rev:string ->
   ?env:string ->
   ?host_seconds:float ->
+  ?jobs:int ->
   bench:string ->
   config:string ->
   target:Descriptor.t ->
@@ -72,7 +76,10 @@ val int_field : string -> Json.t -> (int, string) result
 (** The storage file, [dir/runs.jsonl]. *)
 val file : dir:string -> string
 
-(** Append entries (creates [dir] and the file as needed). *)
+(** Append entries (creates [dir] and the file as needed). The whole
+    batch is written as one buffered write under an advisory
+    [Unix.lockf] write lock, so concurrent bench processes appending
+    to the same history can never interleave partial records. *)
 val append : dir:string -> entry list -> unit
 
 (** All well-formed entries, in write order. [Error] only when the

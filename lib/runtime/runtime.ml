@@ -38,8 +38,12 @@ type config = {
           false, large grids are sampled and only timing is meaningful *)
   sample_blocks : int;  (** blocks executed per launch when sampling *)
   jobs : int;
-      (** host OCaml domains used by the CPU backend's domain-parallel
-          block execution; ignored by GPU targets *)
+      (** host OCaml domains (from the persistent {!Pgpu_support.Pool})
+          used by the CPU backend's chunked block execution, by the
+          GPU simulator's sharded launches and by the parallel TDO
+          search. Results are bit-identical for every value of [jobs];
+          tracing or an attached race detector falls the run back to
+          sequential execution. *)
   tune : bool;  (** enable timing-driven selection of alternatives *)
   fixed_choice : int;  (** alternatives region used when [tune] is false *)
   host_op_cost : float;  (** seconds charged per interpreted host instruction *)
@@ -281,6 +285,12 @@ let kernel_stats st ~wid ~alt region =
 let cpu_mode st =
   st.config.target.Descriptor.kind = Descriptor.Cpu && st.config.racecheck = None
 
+(** Domains available to a simulator launch. Tracing hooks observe
+    per-launch event order, so an enabled tracer forces sequential
+    launches (the racecheck fallback lives inside [Exec.launch]
+    itself). *)
+let launch_jobs st = if Tracer.enabled st.config.tracer then 1 else st.config.jobs
+
 (** Slot-indexed compilation of a launch site's grid-level parallel,
     memoized in the content-addressed store on the region's structural
     hash. TDO trials, the committed re-execution and host-loop
@@ -404,8 +414,9 @@ let rec exec_kernel_region st ~name ~wid ~alt (region : Instr.block) =
               let result =
                 match st.config.engine with
                 | Engine.Compiled ->
-                    Compile.launch st.machine ~mode ~env:st.env (compiled_kernel st i)
-                | Engine.Interp -> Exec.launch st.machine ~mode ~env:st.env i
+                    Compile.launch ~jobs:(launch_jobs st) st.machine ~mode ~env:st.env
+                      (compiled_kernel st i)
+                | Engine.Interp -> Exec.launch ~jobs:(launch_jobs st) st.machine ~mode ~env:st.env i
               in
               st.machine.Exec.shared_as_global <- false;
               (result, Timing.estimate st.config.target ~demand result)
@@ -550,47 +561,22 @@ and choose_alternative st ~name ~wid ~signature ?ckey (aid : int) (descs : strin
                 "tdo:choice";
               k
           | None -> begin
-          (* trial-run every region on scratch copies of the live
-             buffers; each trial samples the grids and sums the model's
-             launch estimates. Machine state (allocator, L2, SM
-             pointer) is restored after every trial so the committed
-             execution — and therefore the composite time — is
-             bit-identical whether trials ran or were answered from the
-             cache. *)
-          let snap = snapshot_buffers st in
-          let msnap = Exec.snapshot_machine st.machine in
+          let times =
+            if List.length regions > 1 && parallel_tdo_ok st regions then
+              parallel_trial_times st ~name ~wid regions
+            else sequential_trial_times st ~name ~wid ~descs regions
+          in
+          (* stable argmin — strictly-less in index order — so the
+             committed choice is identical however trials were
+             scheduled, sequentially or across domains *)
           let best = ref (-1) and best_t = ref infinity in
-          List.iteri
-            (fun k region ->
-              st.trial <- true;
-              let t =
-                Fun.protect
-                  ~finally:(fun () ->
-                    st.trial <- false;
-                    restore_buffers snap;
-                    Exec.restore_machine st.machine msnap)
-                  (fun () ->
-                    let probe = ref 0. in
-                    try
-                      exec_kernel_region_probe st ~name ~wid ~alt:k region probe;
-                      !probe
-                    with Timing.Infeasible _ | Exec.Device_error _ -> infinity)
-              in
-              Tracer.instant_at st.config.tracer ~cat:"tdo" ~ts:(ticks st)
-                ~args:
-                  [
-                    ("kernel", Json.Str name);
-                    ("alternative", Json.Int k);
-                    ("spec", Json.Str (List.nth descs k));
-                    ("seconds", Json.Float t);
-                    ("feasible", Json.Bool (Float.is_finite t));
-                  ]
-                "tdo:trial";
+          Array.iteri
+            (fun k t ->
               if t < !best_t then begin
                 best := k;
                 best_t := t
               end)
-            regions;
+            times;
           if !best < 0 then host_fail "no feasible alternative for kernel %s" name;
           Log.debug (fun m ->
               m "TDO: kernel %s chose alternative %d (%s), %.3g s" name !best
@@ -621,6 +607,160 @@ and choose_alternative st ~name ~wid ~signature ?ckey (aid : int) (descs : strin
       in
       Hashtbl.replace st.choices (aid, signature) k;
       k
+
+(** Whether the TDO search may fan trials out over the domain pool:
+    needs [jobs > 1], no tracer (trial instants observe trial order),
+    no race detector, and no nested wrapper/alternatives inside any
+    candidate (a nested site would tune through the shared choice
+    tables mid-trial). *)
+and parallel_tdo_ok st regions =
+  Pgpu_support.Pool.effective_jobs st.config.jobs > 1
+  && (not (Tracer.enabled st.config.tracer))
+  && st.config.racecheck = None
+  && not
+       (List.exists
+          (fun region ->
+            let nested = ref false in
+            Instr.iter_deep
+              (fun i ->
+                match i with
+                | Instr.Gpu_wrapper _ | Instr.Alternatives _ -> nested := true
+                | _ -> ())
+              region;
+            !nested)
+          regions)
+
+(** Deep-copy the buffers reachable from [env] (deduplicated by buffer
+    id, including per-lane buffer vectors), leaving scalars shared: the
+    trial's functional writes land in private arrays, exactly like the
+    sequential path's snapshot/restore — without ever touching the
+    live data. *)
+and clone_trial_env (env : Exec.env) : Exec.env =
+  let copy = Hashtbl.copy env in
+  let cloned = Hashtbl.create 16 in
+  let clone_buf (b : Memory.buf) =
+    match Hashtbl.find_opt cloned b.Memory.id with
+    | Some b' -> b'
+    | None ->
+        let data =
+          match b.Memory.data with
+          | Memory.I a -> Memory.I (Array.copy a)
+          | Memory.F a -> Memory.F (Array.copy a)
+        in
+        let b' = { b with Memory.data } in
+        Hashtbl.replace cloned b.Memory.id b';
+        b'
+  in
+  Hashtbl.iter
+    (fun k rv ->
+      match rv with
+      | Exec.UB b -> Hashtbl.replace copy k (Exec.UB (clone_buf b))
+      | Exec.VB bs -> Hashtbl.replace copy k (Exec.VB (Array.map clone_buf bs))
+      | _ -> ())
+    env;
+  copy
+
+(** Concurrent TDO trials on the persistent pool: each candidate runs
+    on a fully private state (cloned machine, deep-copied buffers, its
+    own env), so no snapshot/restore cycle and no cross-trial cache
+    pollution — every trial sees exactly the pre-search machine, which
+    is also what each sequential trial sees after the restores. The
+    shared memo tables (per-site stats, fissioned regions, compiled
+    kernels) are warmed sequentially first so trials only read them. *)
+and parallel_trial_times st ~name ~wid regions =
+  List.iteri
+    (fun k region ->
+      let region = if cpu_mode st then cpu_lowered st ~wid ~alt:k region else region in
+      ignore (kernel_stats st ~wid ~alt:k region);
+      match st.config.engine with
+      | Engine.Compiled ->
+          List.iter
+            (fun i ->
+              match i with
+              | Instr.Parallel { level = Instr.Blocks; _ } -> ignore (compiled_kernel st i)
+              | _ -> ())
+            region
+      | Engine.Interp -> ())
+    regions;
+  let pool = Pgpu_support.Pool.get () in
+  let trials =
+    Pgpu_support.Pool.map pool ~jobs:st.config.jobs
+      (fun (k, region) ->
+        let tenv = clone_trial_env st.env in
+        let ts =
+          {
+            st with
+            machine = Exec.clone_machine st.machine;
+            env = tenv;
+            records = [];
+            trial = true;
+          }
+        in
+        let probe = ref 0. in
+        let t =
+          try
+            exec_kernel_region_probe ts ~name ~wid ~alt:k region probe;
+            !probe
+          with Timing.Infeasible _ | Exec.Device_error _ -> infinity
+        in
+        (t, tenv))
+      (List.mapi (fun k r -> (k, r)) regions)
+  in
+  (* Replicate the sequential search's env side effect: a trial binds
+     the SSA results of its region's host prelude while probing, and
+     the committed execution's lowering resolves thread extents (e.g.
+     a coarsened extent computed as [bs / f]) through those bindings.
+     Trials only bind region-local ids (candidate regions are clones
+     with disjoint SSA ids), so copying each trial env's new keys back
+     adds exactly the bindings the sequential trials would have left
+     in [st.env] — pre-existing keys (notably the live buffers, which
+     the trial env rebinds to private copies) are never overwritten. *)
+  List.iter
+    (fun (_, tenv) ->
+      Hashtbl.iter
+        (fun key v -> if not (Hashtbl.mem st.env key) then Hashtbl.replace st.env key v)
+        tenv)
+    trials;
+  List.map fst trials |> Array.of_list
+
+(** Sequential trials on the live state: each region runs on scratch
+    copies of the live buffers; machine state (allocator, L2 slices,
+    SM pointer) is restored after every trial so the committed
+    execution — and therefore the composite time — is bit-identical
+    whether trials ran or were answered from the cache. *)
+and sequential_trial_times st ~name ~wid ~descs regions =
+  let snap = snapshot_buffers st in
+  let msnap = Exec.snapshot_machine st.machine in
+  let times = Array.make (List.length regions) infinity in
+  List.iteri
+    (fun k region ->
+      st.trial <- true;
+      let t =
+        Fun.protect
+          ~finally:(fun () ->
+            st.trial <- false;
+            restore_buffers snap;
+            Exec.restore_machine st.machine msnap)
+          (fun () ->
+            let probe = ref 0. in
+            try
+              exec_kernel_region_probe st ~name ~wid ~alt:k region probe;
+              !probe
+            with Timing.Infeasible _ | Exec.Device_error _ -> infinity)
+      in
+      Tracer.instant_at st.config.tracer ~cat:"tdo" ~ts:(ticks st)
+        ~args:
+          [
+            ("kernel", Json.Str name);
+            ("alternative", Json.Int k);
+            ("spec", Json.Str (List.nth descs k));
+            ("seconds", Json.Float t);
+            ("feasible", Json.Bool (Float.is_finite t));
+          ]
+        "tdo:trial";
+      times.(k) <- t)
+    regions;
+  times
 
 and exec_kernel_region_probe st ~name:_ ~wid ~alt region acc =
   (* like [exec_kernel_region] but accumulates estimated seconds in
@@ -657,10 +797,11 @@ and exec_kernel_region_probe st ~name:_ ~wid ~alt region acc =
               let result =
                 match st.config.engine with
                 | Engine.Compiled ->
-                    Compile.launch st.machine ~mode:(`Sample st.config.sample_blocks)
-                      ~env:st.env (compiled_kernel st i)
+                    Compile.launch ~jobs:(launch_jobs st) st.machine
+                      ~mode:(`Sample st.config.sample_blocks) ~env:st.env (compiled_kernel st i)
                 | Engine.Interp ->
-                    Exec.launch st.machine ~mode:(`Sample st.config.sample_blocks) ~env:st.env i
+                    Exec.launch ~jobs:(launch_jobs st) st.machine
+                      ~mode:(`Sample st.config.sample_blocks) ~env:st.env i
               in
               Timing.estimate st.config.target ~demand result
           in

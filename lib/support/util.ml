@@ -90,36 +90,13 @@ let option_value_exn ~msg = function Some x -> x | None -> failwith msg
 
 (** [parallel_map ~jobs f l] is [List.map f l] computed on up to
     [jobs] domains (the calling domain included), preserving order.
-    Work is distributed by an atomic cursor, so uneven item costs
-    balance out. Falls back to a plain map when [jobs <= 1] or the
-    list has fewer than two elements; exceptions raised by [f] are
-    re-raised in the caller after all domains have joined. *)
-let parallel_map ~jobs f l =
-  let n = List.length l in
-  if jobs <= 1 || n <= 1 then List.map f l
-  else begin
-    let items = Array.of_list l in
-    let out = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          out.(i) <- Some (try Ok (f items.(i)) with e -> Error e);
-          go ()
-        end
-      in
-      go ()
-    in
-    let spawned = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
-    Array.to_list out
-    |> List.map (function
-         | Some (Ok x) -> x
-         | Some (Error e) -> raise e
-         | None -> assert false)
-  end
+    Work runs on the persistent process-global {!Pool}, so domains are
+    spawned once per process rather than once per call; uneven item
+    costs balance out via the pool's work-stealing cursor. Falls back
+    to a plain map when [jobs <= 1] or the list has fewer than two
+    elements; the lowest-index exception raised by [f] is re-raised in
+    the caller after the batch completes. *)
+let parallel_map ~jobs f l = Pool.map (Pool.get ()) ~jobs f l
 
 (** Default worker count for parallel compilation phases: the
     [PGPU_JOBS] environment variable when set, otherwise the number of

@@ -6,4 +6,4 @@ let () =
     @ Test_retarget.suite @ Test_rodinia.suite @ Test_hecbench.suite
     @ Test_random_kernels.suite @ Test_trace.suite @ Test_trace_golden.suite
     @ Test_cache.suite @ Test_analysis.suite @ Test_differential.suite @ Test_cpu.suite
-    @ Test_obs.suite)
+    @ Test_pool.suite @ Test_obs.suite)

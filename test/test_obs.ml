@@ -44,6 +44,7 @@ let mk ?(rev = "test") ?(env = "test") ?(alternative = Some 0) ?(label = Bottlen
     seconds;
     composite_seconds = seconds *. 2.;
     host_seconds = seconds *. 4.;
+    jobs = 1;
     cycles = seconds *. 1e9;
     occupancy;
     bottleneck = { Bottleneck.label; limiter; headroom };
